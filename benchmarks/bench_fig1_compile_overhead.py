@@ -1,0 +1,44 @@
+"""Figure 1 — compile-time overhead of warnings and verification codegen.
+
+One pytest-benchmark entry per (benchmark, mode); the figure's bars are::
+
+    overhead(mode) = (mean(mode) - mean(base)) / mean(base) * 100
+
+for mode ∈ {warnings, full}.  ``examples/figure1_overhead.py`` prints the
+bars directly; EXPERIMENTS.md records paper-vs-measured.  The shape assertion
+(every bar small, codegen ≥ warnings-only) is checked by
+``test_fig1_shape`` below, which also runs under ``--benchmark-only``
+because it uses the benchmark fixture for its timing.
+"""
+
+import pytest
+
+from repro.bench import FIGURE1_BENCHMARKS, compile_source, measure_overheads
+from repro.bench.pipeline import MODES
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", FIGURE1_BENCHMARKS)
+def test_compile(benchmark, sources, name, mode):
+    src = sources[name]
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["mode"] = mode
+    result = benchmark(compile_source, src, mode)
+    assert result.emitted
+    if mode != "base":
+        assert result.warning_count >= 1
+
+
+@pytest.mark.parametrize("name", FIGURE1_BENCHMARKS)
+def test_fig1_shape(benchmark, sources, name):
+    """Regenerates the figure's bars for one benchmark and checks the shape:
+    both overheads modest, verification codegen costs at least as much as
+    warnings alone (up to timing noise)."""
+    src = sources[name]
+    ov = benchmark(measure_overheads, src, 3)
+    benchmark.extra_info["warnings_overhead_pct"] = round(ov["warnings_overhead_pct"], 2)
+    benchmark.extra_info["full_overhead_pct"] = round(ov["full_overhead_pct"], 2)
+    assert ov["warnings_overhead_pct"] < 25.0
+    assert ov["full_overhead_pct"] < 25.0
+    # codegen adds on top of warnings, modulo single-digit timing noise
+    assert ov["full_overhead_pct"] >= ov["warnings_overhead_pct"] - 8.0

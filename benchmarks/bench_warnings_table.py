@@ -1,0 +1,31 @@
+"""Claim C1 — the compile-time pass reports typed warnings with collective
+names and source lines, for every Figure 1 benchmark.
+
+The benchmark times the analysis alone (what the "Warnings" bars add on top
+of the baseline compile) and records the warning counts by error type in
+``extra_info`` — the per-benchmark warning table of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import analyze_program, parse_program
+from repro.bench import FIGURE1_BENCHMARKS
+from repro.core import ErrorCode
+
+
+@pytest.mark.parametrize("name", FIGURE1_BENCHMARKS)
+def test_analysis_warnings(benchmark, sources, name):
+    program = parse_program(sources[name], name)
+    analysis = benchmark(analyze_program, program)
+    counts = {code.value: analysis.diagnostics.count(code) for code in ErrorCode}
+    benchmark.extra_info.update(counts)
+    benchmark.extra_info["total"] = len(analysis.diagnostics)
+    benchmark.extra_info["instrumented_functions"] = len(analysis.instrumented_functions)
+    # Every warning names at least one collective with a source line.
+    for diag in analysis.diagnostics:
+        if diag.code in (ErrorCode.COLLECTIVE_MISMATCH,
+                         ErrorCode.COLLECTIVE_MULTITHREADED,
+                         ErrorCode.COLLECTIVE_CONCURRENT):
+            assert diag.collectives, diag
+            assert all(ref.line > 0 for ref in diag.collectives), diag
+    assert len(analysis.diagnostics) >= 1

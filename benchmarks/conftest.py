@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harnesses."""
+
+import pytest
+
+from repro.bench import benchmark_sources
+
+
+@pytest.fixture(scope="session")
+def sources():
+    return benchmark_sources()

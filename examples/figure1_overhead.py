@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerates Figure 1: average compile-time overhead (%) of the
+verification, with and without code generation, for the five benchmarks.
+
+Run:  python examples/figure1_overhead.py [--repeats N]
+"""
+
+import argparse
+
+from repro.bench import FIGURE1_BENCHMARKS, benchmark_sources, measure_overheads
+
+PAPER_NOTE = "paper: every bar below 6% (GCC plugin on CEA machines)"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per mode (best-of)")
+    args = parser.parse_args()
+
+    sources = benchmark_sources()
+    print(f"{'benchmark':<12} {'LoC':>6} {'base (ms)':>10} "
+          f"{'warnings %':>11} {'+codegen %':>11}")
+    print("-" * 56)
+    rows = []
+    for name in FIGURE1_BENCHMARKS:
+        src = sources[name]
+        ov = measure_overheads(src, repeats=args.repeats)
+        rows.append((name, ov))
+        print(f"{name:<12} {len(src.splitlines()):>6} "
+              f"{ov['base'] * 1000:>10.1f} "
+              f"{ov['warnings_overhead_pct']:>10.2f}% "
+              f"{ov['full_overhead_pct']:>10.2f}%")
+    print("-" * 56)
+    print(PAPER_NOTE)
+
+    # Poor man's bar chart, like the figure.
+    print("\n  overhead in %  (W = warnings, F = warnings + codegen)")
+    scale = 1.0
+    for name, ov in rows:
+        w = max(0.0, ov["warnings_overhead_pct"]) / scale
+        f = max(0.0, ov["full_overhead_pct"]) / scale
+        print(f"  {name:<12} W |{'#' * int(round(w))} {ov['warnings_overhead_pct']:.1f}")
+        print(f"  {'':<12} F |{'#' * int(round(f))} {ov['full_overhead_pct']:.1f}")
+
+
+if __name__ == "__main__":
+    main()

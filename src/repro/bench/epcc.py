@@ -1,0 +1,239 @@
+"""EPCC mixed-mode microbenchmark suite analogue (v1.0 style).
+
+The real suite measures MPI operations under different thread-interaction
+styles: *master-only* (MPI outside parallel regions or in ``master``),
+*funneled* (in ``master`` inside the region), *serialized* (in ``single``),
+and *multiple*.  The generator emits one kernel function per
+(operation × style) plus a driver ``main`` — the same mix of pragmas and
+collectives the paper's compile-time analysis chews through, including the
+patterns phase 1 flags (collectives in truly multithreaded code for the
+"multiple" style kernels).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_STYLES = ("masteronly", "funneled", "serialized")
+
+
+def _kernel_pingpong(style: str, reps: int) -> str:
+    name = f"pingpong_{style}"
+    lines = [f"void {name}(int n)", "{"]
+    lines.append("    int rank = MPI_Comm_rank();")
+    lines.append("    int other = 1 - rank;")
+    lines.append("    float buf = 1.0;")
+    body = [
+        f"        for (int r = 0; r < {reps}; r += 1)",
+        "        {",
+        "            if (rank == 0)",
+        "            {",
+        "                MPI_Send(buf, other, 1);",
+        "                MPI_Recv(buf, other, 2);",
+        "            }",
+        "            else",
+        "            {",
+        "                MPI_Recv(buf, other, 1);",
+        "                MPI_Send(buf, other, 2);",
+        "            }",
+        "        }",
+    ]
+    if style == "masteronly":
+        lines.extend(line[4:] for line in body)
+    elif style == "funneled":
+        lines.append("    #pragma omp parallel")
+        lines.append("    {")
+        lines.append("        #pragma omp master")
+        lines.append("        {")
+        lines.extend("    " + line for line in body)
+        lines.append("        }")
+        lines.append("        #pragma omp barrier")
+        lines.append("    }")
+    else:  # serialized
+        lines.append("    #pragma omp parallel")
+        lines.append("    {")
+        lines.append("        #pragma omp single")
+        lines.append("        {")
+        lines.extend("    " + line for line in body)
+        lines.append("        }")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _kernel_collective(op: str, style: str, reps: int) -> str:
+    """A collective micro-kernel under one thread-interaction style."""
+    name = f"{op.lower()}_{style}"
+    if op == "Barrier":
+        coll = "MPI_Barrier();"
+    elif op == "Reduce":
+        coll = 'MPI_Reduce(x, y, "sum", 0);'
+    elif op == "Allreduce":
+        coll = 'MPI_Allreduce(x, y, "sum");'
+    else:
+        coll = "MPI_Bcast(x, 0);"
+    lines = [f"void {name}(int n)", "{"]
+    lines.append("    float x = 1.5;")
+    lines.append("    float y = 0.0;")
+    rep_open = [f"    for (int r = 0; r < {reps}; r += 1)", "    {"]
+    rep_close = ["    }"]
+    if style == "masteronly":
+        lines.extend(rep_open)
+        lines.append(f"        {coll}")
+        lines.extend(rep_close)
+    elif style == "funneled":
+        lines.append("    #pragma omp parallel")
+        lines.append("    {")
+        lines.extend("    " + line for line in rep_open)
+        lines.append("        #pragma omp master")
+        lines.append("        {")
+        lines.append(f"            {coll}")
+        lines.append("        }")
+        lines.append("        #pragma omp barrier")
+        lines.extend("    " + line for line in rep_close)
+        lines.append("    }")
+    else:
+        lines.append("    #pragma omp parallel")
+        lines.append("    {")
+        lines.extend("    " + line for line in rep_open)
+        lines.append("        #pragma omp single")
+        lines.append("        {")
+        lines.append(f"            {coll}")
+        lines.append("        }")
+        lines.extend("    " + line for line in rep_close)
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _kernel_haloexchange(reps: int) -> str:
+    lines = ["void haloexchange(int n)", "{"]
+    lines.append("    int rank = MPI_Comm_rank();")
+    lines.append("    int size = MPI_Comm_size();")
+    lines.append("    float halo[n];")
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    lines.append("        #pragma omp for")
+    lines.append("        for (int i = 0; i < n; i += 1)")
+    lines.append("        {")
+    lines.append("            halo[i] = i * 1.0 + rank;")
+    lines.append("        }")
+    lines.append("    }")
+    lines.append(f"    for (int r = 0; r < {reps}; r += 1)")
+    lines.append("    {")
+    lines.append("        int left = mod(rank - 1 + size, size);")
+    lines.append("        int right = mod(rank + 1, size);")
+    lines.append("        MPI_Sendrecv(halo[0], left, 7, halo[1], right, 7);")
+    lines.append("        MPI_Sendrecv(halo[2], right, 8, halo[3], left, 8);")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _kernel_multiple_unsafe(reps: int) -> str:
+    """The "multiple" style the paper warns about: a collective executed by
+    every thread of a parallel region — phase 1 flags it."""
+    lines = ["void barrier_multiple(int n)", "{"]
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    lines.append(f"        for (int r = 0; r < {reps}; r += 1)")
+    lines.append("        {")
+    lines.append("            MPI_Barrier();")
+    lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _support_functions(n_variants: int = 6) -> List[str]:
+    """The suite's scaffolding: buffer fill/validate, timing statistics,
+    delay loops — the bulk of the real suite's compiled code."""
+    parts: List[str] = []
+    for v in range(n_variants):
+        parts.append("\n".join([
+            f"void fill_buffer_{v}(int n)",
+            "{",
+            "    float buf[n];",
+            "    #pragma omp parallel",
+            "    {",
+            "        #pragma omp for",
+            f"        for (int i = 0; i < n; i += 1)",
+            "        {",
+            f"            buf[i] = i * {v + 1}.5 + mod(i, {v + 2});",
+            "        }",
+            "    }",
+            "}",
+        ]))
+        parts.append("\n".join([
+            f"float stats_mean_{v}(int n)",
+            "{",
+            "    float acc = 0.0;",
+            "    float buf[n];",
+            "    for (int i = 0; i < n; i += 1)",
+            "    {",
+            f"        buf[i] = i * {v}.25;",
+            "        acc = acc + buf[i];",
+            "    }",
+            "    return acc / n;",
+            "}",
+        ]))
+        parts.append("\n".join([
+            f"float stats_sigma_{v}(int n)",
+            "{",
+            f"    float mean = stats_mean_{v}(n);",
+            "    float acc = 0.0;",
+            "    for (int i = 0; i < n; i += 1)",
+            "    {",
+            "        float d = i * 1.0 - mean;",
+            "        acc = acc + d * d;",
+            "    }",
+            "    return sqrt(acc / n);",
+            "}",
+        ]))
+        parts.append("\n".join([
+            f"void delay_{v}(int ticks)",
+            "{",
+            "    int x = 0;",
+            "    for (int t = 0; t < ticks; t += 1)",
+            "    {",
+            f"        x = mod(x * 1103 + {v * 7 + 1}, 65536);",
+            "    }",
+            "}",
+        ]))
+    return parts
+
+
+def make_epcc_suite(reps: int = 4, include_multiple: bool = True,
+                    n: int = 64, support_variants: int = 16) -> str:
+    """The full mixed-mode suite as one program."""
+    parts: List[str] = _support_functions(support_variants)
+    kernels: List[str] = []
+    for style in _STYLES:
+        parts.append(_kernel_pingpong(style, reps))
+        kernels.append(f"pingpong_{style}")
+    for op in ("Barrier", "Reduce", "Allreduce", "Bcast"):
+        for style in _STYLES:
+            parts.append(_kernel_collective(op, style, reps))
+            kernels.append(f"{op.lower()}_{style}")
+    parts.append(_kernel_haloexchange(reps))
+    kernels.append("haloexchange")
+    if include_multiple:
+        parts.append(_kernel_multiple_unsafe(reps))
+        kernels.append("barrier_multiple")
+
+    main = ["void main()", "{"]
+    main.append("    MPI_Init_thread(3);")
+    main.append(f"    int n = {n};")
+    main.append("    float sigma = 0.0;")
+    for i, kernel in enumerate(kernels):
+        v = i % max(1, support_variants)
+        main.append(f"    fill_buffer_{v}(n);")
+        main.append("    MPI_Barrier();")
+        main.append(f"    {kernel}(n);")
+        main.append(f"    sigma = stats_sigma_{v}(n);")
+        main.append(f"    delay_{v}(8);")
+    main.append('    print("suite done", sigma);')
+    main.append("    MPI_Finalize();")
+    main.append("}")
+    parts.append("\n".join(main))
+    return "\n\n".join(parts) + "\n"

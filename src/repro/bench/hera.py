@@ -1,0 +1,198 @@
+"""HERA analogue: a multi-physics AMR (adaptive mesh refinement) hydrocode
+skeleton.
+
+HERA (Jourdren 2003) is a large CEA AMR platform; the paper uses it as the
+"big application" data point of Figure 1.  The generator reproduces the
+*shape* that matters for compile-time analysis: a level hierarchy walked
+every timestep, per-level hybrid compute kernels (parallel + worksharing),
+load-balance decisions guarded by rank-dependent control flow (exactly the
+pattern that puts conditionals into PDF+), global reductions for the time
+step, and periodic regridding with gather/scatter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def _kernel_godunov(levels: int) -> str:
+    lines = ["void godunov_sweep(int level, int n)", "{"]
+    lines.append("    float u[n];")
+    lines.append("    float flux[n];")
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    for stage in ("predict", "correct"):
+        lines.append("        #pragma omp for")
+        lines.append(f"        for (int i_{stage} = 0; i_{stage} < n; i_{stage} += 1)")
+        lines.append("        {")
+        lines.append(f"            u[mod(i_{stage}, n)] = i_{stage} * 0.5 + level;")
+        lines.append(f"            flux[mod(i_{stage}, n)] = u[mod(i_{stage}, n)] * 1.25;")
+        lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _kernel_eos() -> str:
+    return "\n".join([
+        "void equation_of_state(int level, int n)",
+        "{",
+        "    float pressure[n];",
+        "    float energy[n];",
+        "    #pragma omp parallel",
+        "    {",
+        "        #pragma omp for nowait",
+        "        for (int c = 0; c < n; c += 1)",
+        "        {",
+        "            energy[c] = c * 0.25 + level;",
+        "        }",
+        "        #pragma omp barrier",
+        "        #pragma omp for",
+        "        for (int c2 = 0; c2 < n; c2 += 1)",
+        "        {",
+        "            pressure[c2] = energy[c2] * 0.4;",
+        "        }",
+        "    }",
+        "}",
+    ])
+
+
+def _kernel_timestep() -> str:
+    """Global dt reduction — executed by the master thread of a region."""
+    return "\n".join([
+        "float compute_dt(int level, int n)",
+        "{",
+        "    float local_dt = 1.0;",
+        "    float global_dt = 0.0;",
+        "    for (int c = 0; c < n; c += 1)",
+        "    {",
+        "        local_dt = min(local_dt, 0.1 + c * 0.001);",
+        "    }",
+        '    MPI_Allreduce(local_dt, global_dt, "min");',
+        "    return global_dt;",
+        "}",
+    ])
+
+
+def _kernel_regrid() -> str:
+    """Regridding: rank-dependent load balancing around collectives — the
+    conditional lands in PDF+ and draws a mismatch warning (a true positive
+    pattern if the balance flag ever diverged)."""
+    return "\n".join([
+        "void regrid(int level, int n)",
+        "{",
+        "    int rank = MPI_Comm_rank();",
+        "    int size = MPI_Comm_size();",
+        "    float cells = n * 1.0;",
+        "    float total = 0.0;",
+        '    MPI_Allreduce(cells, total, "sum");',
+        "    float avg = total / size;",
+        "    if (cells > avg * 1.5)",
+        "    {",
+        "        float moved = cells - avg;",
+        '        MPI_Reduce(moved, total, "sum", 0);',
+        "    }",
+        "    MPI_Barrier();",
+        "}",
+    ])
+
+
+def _kernel_boundary(faces: int) -> str:
+    lines = ["void fill_boundary(int level, int n)", "{"]
+    lines.append("    int rank = MPI_Comm_rank();")
+    lines.append("    int size = MPI_Comm_size();")
+    lines.append("    float ghost[n];")
+    for f in range(faces):
+        lines.append(f"    int nb{f} = mod(rank + {f + 1}, size);")
+        lines.append(f"    MPI_Sendrecv(ghost[{f}], nb{f}, {20 + f}, ghost[{f}], nb{f}, {20 + f});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _physics_modules(count: int = 10) -> Tuple[List[str], List[str]]:
+    """Pure-compute physics kernels (diffusion, advection, source terms…):
+    the bulk of a real multi-physics platform's compiled code.
+    Returns (sources, function names)."""
+    parts: List[str] = []
+    fn_names: List[str] = []
+    names = ("diffusion", "advection", "viscosity", "gravity", "radiation",
+             "chemistry", "turbulence", "elasticity", "ablation", "opacity")
+    for i in range(count):
+        name = names[i % len(names)] + (str(i // len(names)) if i >= len(names) else "")
+        fn_names.append(f"{name}_kernel")
+        parts.append("\n".join([
+            f"void {name}_kernel(int level, int n)",
+            "{",
+            "    float q[n];",
+            "    float dq[n];",
+            "    #pragma omp parallel",
+            "    {",
+            "        #pragma omp for",
+            "        for (int c = 0; c < n; c += 1)",
+            "        {",
+            f"            q[c] = c * {i + 1}.125 + level;",
+            "        }",
+            "        #pragma omp for",
+            "        for (int c2 = 1; c2 < n; c2 += 1)",
+            "        {",
+            f"            dq[c2] = (q[c2] - q[c2 - 1]) * 0.5 + {i}.0;",
+            "        }",
+            "    }",
+            "    for (int s = 0; s < 3; s += 1)",
+            "    {",
+            "        dq[s] = dq[s] * 0.25 + q[s];",
+            "    }",
+            "}",
+        ]))
+    return parts, fn_names
+
+
+def make_hera(levels: int = 4, steps: int = 5, n: int = 64,
+              regrid_every: int = 2, physics_modules: int = 12) -> str:
+    """The AMR driver program."""
+    parts: List[str] = [
+        _kernel_godunov(levels),
+        _kernel_eos(),
+        _kernel_timestep(),
+        _kernel_regrid(),
+        _kernel_boundary(faces=3),
+    ]
+    physics_sources, physics_names = _physics_modules(physics_modules)
+    parts.extend(physics_sources)
+    main = ["void main()", "{"]
+    main.append("    MPI_Init_thread(2);")
+    main.append("    int rank = MPI_Comm_rank();")
+    main.append(f"    int levels = {levels};")
+    main.append(f"    int n = {n};")
+    main.append("    float t = 0.0;")
+    main.append("    float dt = 0.0;")
+    main.append(f"    for (int step = 0; step < {steps}; step += 1)")
+    main.append("    {")
+    main.append("        for (int level = 0; level < levels; level += 1)")
+    main.append("        {")
+    main.append("            fill_boundary(level, n);")
+    main.append("            godunov_sweep(level, n);")
+    main.append("            equation_of_state(level, n);")
+    for fn in physics_names:
+        main.append(f"            {fn}(level, n);")
+    main.append("        }")
+    main.append("        dt = compute_dt(0, n);")
+    main.append("        t = t + dt;")
+    main.append(f"        if (mod(step, {regrid_every}) == 0)")
+    main.append("        {")
+    main.append("            for (int level2 = 0; level2 < levels; level2 += 1)")
+    main.append("            {")
+    main.append("                regrid(level2, n);")
+    main.append("            }")
+    main.append("        }")
+    main.append("    }")
+    main.append("    float checksum = 0.0;")
+    main.append('    MPI_Reduce(t, checksum, "sum", 0);')
+    main.append("    if (rank == 0)")
+    main.append("    {")
+    main.append('        print("final time", checksum);')
+    main.append("    }")
+    main.append("    MPI_Finalize();")
+    main.append("}")
+    parts.append("\n".join(main))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,200 @@
+"""Structural generators for the NAS Parallel Benchmarks Multi-Zone suite.
+
+The paper measures *compile-time* overhead on BT-MZ, SP-MZ and LU-MZ (v3.2,
+class B).  What matters for that measurement is realistic code size and
+shape: many solver functions, deep loop nests, OpenMP ``parallel``/``for``
+regions per zone, halo exchange via point-to-point, and collectives
+(residual reduction, timing, verification) inside the timestep loop — the
+pattern that makes PARCOACH emit its classic loop-guard warnings and
+generate verification code.
+
+Generators emit minilang *source text* so the compile pipeline includes
+lexing/parsing, exactly like the paper's baseline compile.
+"""
+
+from __future__ import annotations
+
+_SWEEPS = ("x", "y", "z")
+
+
+def _make_solver(name: str, inner_loops: int, width: int) -> str:
+    """Emit one sweep function as source (hand-rolled for array targets)."""
+    lines = [f"void {name}(int zone, int n)", "{"]
+    lines.append("    float rhs[n];")
+    lines.append("    float lhs[n];")
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    for loop_i in range(inner_loops):
+        lines.append(f"        #pragma omp for")
+        lines.append(f"        for (int i{loop_i} = 0; i{loop_i} < n; i{loop_i} += 1)")
+        lines.append("        {")
+        lines.append(
+            f"            rhs[mod(i{loop_i}, n)] = mod(i{loop_i} * {loop_i + 3}, 97) + zone;"
+        )
+        for k in range(width):
+            lines.append(
+                f"            lhs[mod(i{loop_i} + {k}, n)] = (rhs[mod(i{loop_i}, n)] + {k}.0) * 2.0;"
+            )
+        lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _make_exchange(name: str, faces: int) -> str:
+    """Halo exchange between neighbour ranks (point-to-point, no collectives)."""
+    lines = [f"void {name}(int zone, int n)", "{"]
+    lines.append("    int rank = MPI_Comm_rank();")
+    lines.append("    int size = MPI_Comm_size();")
+    lines.append("    float buf[n];")
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    lines.append("        #pragma omp for")
+    lines.append("        for (int i = 0; i < n; i += 1)")
+    lines.append("        {")
+    lines.append("            buf[i] = i * 2.0 + zone;")
+    lines.append("        }")
+    lines.append("    }")
+    for face in range(faces):
+        tag = 100 + face
+        lines.append(f"    if (mod(rank, 2) == 0)")
+        lines.append("    {")
+        lines.append(f"        if (rank + 1 < size)")
+        lines.append("        {")
+        lines.append(f"            MPI_Send(buf[{face}], rank + 1, {tag});")
+        lines.append(f"            MPI_Recv(buf[{face}], rank + 1, {tag + 50});")
+        lines.append("        }")
+        lines.append("    }")
+        lines.append("    else")
+        lines.append("    {")
+        lines.append(f"        MPI_Recv(buf[{face}], rank - 1, {tag});")
+        lines.append(f"        MPI_Send(buf[{face}], rank - 1, {tag + 50});")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _make_rhs(name: str, stages: int) -> str:
+    lines = [f"void {name}(int zone, int n)", "{"]
+    lines.append("    float forcing[n];")
+    lines.append("    #pragma omp parallel")
+    lines.append("    {")
+    for s in range(stages):
+        lines.append("        #pragma omp for nowait" if s % 2 else "        #pragma omp for")
+        lines.append(f"        for (int j{s} = 0; j{s} < n; j{s} += 1)")
+        lines.append("        {")
+        lines.append(f"            forcing[mod(j{s}, n)] = j{s} * {s + 1}.5 + zone;")
+        lines.append("        }")
+        if s % 2:
+            lines.append("        #pragma omp barrier")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _make_main(solvers: list, zones: int, steps: int, exchange: str,
+               rhs_funcs: list, thread_level: int = 2) -> str:
+    lines = ["void main()", "{"]
+    lines.append(f"    MPI_Init_thread({thread_level});")
+    lines.append("    int rank = MPI_Comm_rank();")
+    lines.append(f"    int zones = {zones};")
+    lines.append("    int n = 64;")
+    lines.append("    float residual = 0.0;")
+    lines.append("    float gnorm = 0.0;")
+    lines.append(f"    for (int step = 0; step < {steps}; step += 1)")
+    lines.append("    {")
+    lines.append("        for (int z = 0; z < zones; z += 1)")
+    lines.append("        {")
+    lines.append(f"            {exchange}(z, n);")
+    for fn in rhs_funcs:
+        lines.append(f"            {fn}(z, n);")
+    for fn in solvers:
+        lines.append(f"            {fn}(z, n);")
+    lines.append("        }")
+    lines.append("        residual = residual + step * 0.5;")
+    # Residual check every few iterations: the collective inside the loop is
+    # what makes PARCOACH warn (loop guard in PDF+) and instrument.
+    lines.append("        if (mod(step, 2) == 0)")
+    lines.append("        {")
+    lines.append("            MPI_Allreduce(residual, gnorm, \"sum\");")
+    lines.append("        }")
+    lines.append("    }")
+    lines.append("    MPI_Barrier();")
+    lines.append("    float verify = 0.0;")
+    lines.append("    MPI_Reduce(residual, verify, \"max\", 0);")
+    lines.append("    if (rank == 0)")
+    lines.append("    {")
+    lines.append("        print(\"verification\", verify);")
+    lines.append("    }")
+    lines.append("    MPI_Finalize();")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def make_bt_mz(zones: int = 16, steps: int = 6, inner_loops: int = 5,
+               width: int = 6, sweeps_per_dim: int = 3) -> str:
+    """BT-MZ-like program: block-tridiagonal sweeps in x/y/z per zone."""
+    parts = []
+    solvers = []
+    for dim in _SWEEPS:
+        for i in range(sweeps_per_dim):
+            name = f"{dim}_solve_{i}"
+            solvers.append(name)
+            parts.append(_make_solver(name, inner_loops, width))
+    rhs_funcs = [f"compute_rhs_{i}" for i in range(3)]
+    for i, name in enumerate(rhs_funcs):
+        parts.append(_make_rhs(name, stages=4 + i))
+    parts.append(_make_exchange("exch_qbc", faces=4))
+    parts.append(_make_main(solvers, zones, steps, "exch_qbc", rhs_funcs))
+    return "\n\n".join(parts) + "\n"
+
+
+def make_sp_mz(zones: int = 16, steps: int = 6) -> str:
+    """SP-MZ-like program: scalar-pentadiagonal, fewer/wider sweeps."""
+    parts = []
+    solvers = []
+    for dim in _SWEEPS:
+        name = f"{dim}_solve"
+        solvers.append(name)
+        parts.append(_make_solver(name, inner_loops=4, width=8))
+    parts.append(_make_solver("txinvr", inner_loops=2, width=4))
+    solvers.append("txinvr")
+    rhs_funcs = ["compute_rhs"]
+    parts.append(_make_rhs("compute_rhs", stages=6))
+    parts.append(_make_exchange("exch_qbc", faces=4))
+    parts.append(_make_main(solvers, zones, steps, "exch_qbc", rhs_funcs))
+    return "\n\n".join(parts) + "\n"
+
+
+def make_lu_mz(zones: int = 16, steps: int = 6) -> str:
+    """LU-MZ-like program: SSOR with lower/upper sweeps and more explicit
+    synchronization (barriers, single regions for the pipeline startup)."""
+    parts = []
+    # jacld/jacu + blts/buts: four sweep kernels with barriers inside.
+    solvers = []
+    for name, loops in (("jacld", 3), ("blts", 4), ("jacu", 3), ("buts", 4)):
+        solvers.append(name)
+        lines = [f"void {name}(int zone, int n)", "{"]
+        lines.append("    float v[n];")
+        lines.append("    float tv[n];")
+        lines.append("    #pragma omp parallel")
+        lines.append("    {")
+        lines.append("        #pragma omp single")
+        lines.append("        {")
+        lines.append("            tv[0] = zone * 1.0;")
+        lines.append("        }")
+        for i in range(loops):
+            lines.append("        #pragma omp for")
+            lines.append(f"        for (int k{i} = 0; k{i} < n; k{i} += 1)")
+            lines.append("        {")
+            lines.append(f"            v[mod(k{i}, n)] = tv[0] + k{i} * {i + 1}.0;")
+            lines.append("        }")
+            lines.append("        #pragma omp barrier")
+        lines.append("    }")
+        lines.append("}")
+        parts.append("\n".join(lines))
+    parts.append(_make_rhs("rhs_lu", stages=5))
+    parts.append(_make_exchange("exchange_1", faces=2))
+    parts.append(_make_main(solvers, zones=16, steps=steps, exchange="exchange_1",
+                            rhs_funcs=["rhs_lu"]))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,27 @@
+"""Control-flow-graph substrate: blocks, builder, dominance, loops, DOT."""
+
+from .basic_block import BasicBlock, BlockKind, OMP_REGION_KINDS
+from .build import CFGBuilder, build_cfg, build_program_cfgs
+from .dominance import DominatorTree, dominators, pdf_plus, post_dominators
+from .dot import to_dot
+from .graph import CFG
+from .loops import NaturalLoop, find_back_edges, loop_nesting_depth, natural_loops
+
+__all__ = [
+    "BasicBlock",
+    "BlockKind",
+    "OMP_REGION_KINDS",
+    "CFGBuilder",
+    "build_cfg",
+    "build_program_cfgs",
+    "DominatorTree",
+    "dominators",
+    "pdf_plus",
+    "post_dominators",
+    "to_dot",
+    "CFG",
+    "NaturalLoop",
+    "find_back_edges",
+    "loop_nesting_depth",
+    "natural_loops",
+]

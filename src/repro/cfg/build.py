@@ -1,0 +1,307 @@
+"""AST → CFG translation.
+
+Mirrors the paper's compile-time phase: OpenMP directives become their own
+blocks, implicit thread barriers get dedicated ``OMP_BARRIER`` blocks, every
+MPI collective call is isolated in a ``COLLECTIVE`` block and every call to a
+user-defined function in a ``CALL`` block (the driver treats calls to
+collective-containing functions as collective points).
+
+``omp sections`` bodies are chained *sequentially* in the CFG: per MPI
+process every section executes exactly once, so for the inter-process
+sequence analysis they are straight-line code; the cross-thread ordering
+nondeterminism between sections is the concurrency phase's job (each section
+contributes its own ``S`` token to the parallelism word).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..minilang import ast_nodes as A
+from ..mpi.collectives import is_collective
+from .basic_block import BasicBlock, BlockKind
+from .graph import CFG
+
+
+@dataclass
+class _LoopCtx:
+    continue_target: int
+    break_target: int
+
+
+class CFGBuilder:
+    def __init__(self, func: A.FuncDef, user_funcs: Optional[set] = None) -> None:
+        self.func = func
+        self.user_funcs = user_funcs if user_funcs is not None else set()
+        self.cfg = CFG(func.name)
+        #: AST uid -> block id (pragmas, collective stmts, branch conditions).
+        self.ast_block: Dict[int, int] = {}
+        self._loops: List[_LoopCtx] = []
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _new(self, kind: BlockKind, **kwargs) -> BasicBlock:
+        return self.cfg.new_block(kind, **kwargs)
+
+    def _link(self, src: Optional[int], dst: int) -> None:
+        if src is not None:
+            self.cfg.add_edge(src, dst)
+
+    def _fresh_after(self, cur: Optional[int], kind: BlockKind = BlockKind.NORMAL,
+                     **kwargs) -> BasicBlock:
+        block = self._new(kind, **kwargs)
+        self._link(cur, block.id)
+        return block
+
+    # -- entry point ---------------------------------------------------------------
+
+    def build(self) -> CFG:
+        entry = self._new(BlockKind.ENTRY)
+        exit_block = self._new(BlockKind.EXIT)
+        self.cfg.entry_id = entry.id
+        self.cfg.exit_id = exit_block.id
+        cur = self._translate_block(self.func.body, entry.id)
+        self._link(cur, exit_block.id)
+        self.cfg.remove_unreachable()
+        self.cfg.ensure_exit_reachable()
+        return self.cfg
+
+    # -- statement translation --------------------------------------------------------
+
+    def _translate_block(self, block: A.Block, cur: Optional[int]) -> Optional[int]:
+        for stmt in block.stmts:
+            cur = self._translate_stmt(stmt, cur)
+        return cur
+
+    def _translate_stmt(self, stmt: A.Stmt, cur: Optional[int]) -> Optional[int]:
+        if cur is None:
+            # Unreachable code after return/break: translate into orphan
+            # blocks, cleaned up by remove_unreachable().
+            cur = self._new(BlockKind.NORMAL, line=stmt.line).id
+
+        if isinstance(stmt, A.Block):
+            return self._translate_block(stmt, cur)
+
+        if isinstance(stmt, (A.VarDecl, A.Assign)):
+            return self._append_simple(stmt, cur)
+
+        if isinstance(stmt, A.ExprStmt):
+            return self._translate_expr_stmt(stmt, cur)
+
+        if isinstance(stmt, A.If):
+            return self._translate_if(stmt, cur)
+
+        if isinstance(stmt, A.While):
+            return self._translate_while(stmt, cur)
+
+        if isinstance(stmt, A.For):
+            return self._translate_for(stmt, cur)
+
+        if isinstance(stmt, A.Return):
+            block = self._append_simple(stmt, cur)
+            self._link(block, self.cfg.exit_id)
+            return None
+
+        if isinstance(stmt, A.Break):
+            if self._loops:
+                self._link(cur, self._loops[-1].break_target)
+            return None
+
+        if isinstance(stmt, A.Continue):
+            if self._loops:
+                self._link(cur, self._loops[-1].continue_target)
+            return None
+
+        if isinstance(stmt, A.OmpStmt):
+            return self._translate_omp(stmt, cur)
+
+        raise TypeError(f"cannot translate {type(stmt).__name__}")
+
+    def _append_simple(self, stmt: A.Stmt, cur: int) -> int:
+        block = self.cfg.block(cur)
+        if block.kind is not BlockKind.NORMAL or block.cond is not None:
+            block = self._fresh_after(cur, BlockKind.NORMAL, line=stmt.line)
+        if not block.stmts:
+            block.line = stmt.line
+        block.stmts.append(stmt)
+        self.ast_block[stmt.uid] = block.id
+        return block.id
+
+    def _translate_expr_stmt(self, stmt: A.ExprStmt, cur: int) -> int:
+        expr = stmt.expr
+        if isinstance(expr, A.Call) and is_collective(expr.name):
+            block = self._fresh_after(cur, BlockKind.COLLECTIVE,
+                                      collective=expr.name, line=stmt.line)
+            block.stmts.append(stmt)
+            self.ast_block[stmt.uid] = block.id
+            self.ast_block[expr.uid] = block.id
+            return block.id
+        if isinstance(expr, A.Call) and expr.name in self.user_funcs:
+            block = self._fresh_after(cur, BlockKind.CALL,
+                                      callee=expr.name, line=stmt.line)
+            block.stmts.append(stmt)
+            self.ast_block[stmt.uid] = block.id
+            self.ast_block[expr.uid] = block.id
+            return block.id
+        return self._append_simple(stmt, cur)
+
+    # -- control flow --------------------------------------------------------------
+
+    def _make_condition(self, cond: A.Expr, cur: int, line: int) -> int:
+        """Close ``cur`` with a CONDITION block evaluating ``cond``."""
+        block = self._fresh_after(cur, BlockKind.CONDITION, cond=cond, line=line)
+        self.ast_block[cond.uid] = block.id
+        return block.id
+
+    def _translate_if(self, stmt: A.If, cur: int) -> Optional[int]:
+        cond_id = self._make_condition(stmt.cond, cur, stmt.line)
+        self.ast_block[stmt.uid] = cond_id
+        join = self._new(BlockKind.NORMAL, line=stmt.line)
+
+        then_entry = self._new(BlockKind.NORMAL, line=stmt.then_body.line)
+        self.cfg.add_edge(cond_id, then_entry.id)
+        then_end = self._translate_block(stmt.then_body, then_entry.id)
+        self._link(then_end, join.id)
+
+        if stmt.else_body is not None:
+            else_entry = self._new(BlockKind.NORMAL, line=stmt.else_body.line)
+            self.cfg.add_edge(cond_id, else_entry.id)
+            else_end = self._translate_block(stmt.else_body, else_entry.id)
+            self._link(else_end, join.id)
+        else:
+            self.cfg.add_edge(cond_id, join.id)
+
+        if not self.cfg.predecessors(join.id):
+            return None  # both branches returned/broke
+        return join.id
+
+    def _translate_while(self, stmt: A.While, cur: int) -> Optional[int]:
+        header = self._make_condition(stmt.cond, cur, stmt.line)
+        self.ast_block[stmt.uid] = header
+        after = self._new(BlockKind.NORMAL, line=stmt.line)
+        body_entry = self._new(BlockKind.NORMAL, line=stmt.body.line)
+        self.cfg.add_edge(header, body_entry.id)
+        self.cfg.add_edge(header, after.id)
+        self._loops.append(_LoopCtx(continue_target=header, break_target=after.id))
+        body_end = self._translate_block(stmt.body, body_entry.id)
+        self._loops.pop()
+        self._link(body_end, header)
+        return after.id
+
+    def _translate_for(self, stmt: A.For, cur: int,
+                       record_uid: bool = True) -> Optional[int]:
+        if stmt.init is not None:
+            cur = self._translate_stmt(stmt.init, cur)
+            assert cur is not None
+        if stmt.cond is not None:
+            header = self._make_condition(stmt.cond, cur, stmt.line)
+        else:
+            header = self._fresh_after(cur, BlockKind.NORMAL, line=stmt.line).id
+        if record_uid:
+            self.ast_block[stmt.uid] = header
+        after = self._new(BlockKind.NORMAL, line=stmt.line)
+        body_entry = self._new(BlockKind.NORMAL, line=stmt.body.line)
+        self.cfg.add_edge(header, body_entry.id)
+        if stmt.cond is not None:
+            self.cfg.add_edge(header, after.id)
+        step_block = self._new(BlockKind.NORMAL, line=stmt.line)
+        if stmt.step is not None:
+            step_block.stmts.append(stmt.step)
+            self.ast_block[stmt.step.uid] = step_block.id
+        self._loops.append(_LoopCtx(continue_target=step_block.id, break_target=after.id))
+        body_end = self._translate_block(stmt.body, body_entry.id)
+        self._loops.pop()
+        self._link(body_end, step_block.id)
+        self.cfg.add_edge(step_block.id, header)
+        if not self.cfg.predecessors(after.id) and stmt.cond is None:
+            return None  # genuinely infinite loop
+        return after.id
+
+    # -- OpenMP constructs --------------------------------------------------------------
+
+    def _open_region(self, kind: BlockKind, stmt: A.OmpStmt, cur: int) -> BasicBlock:
+        block = self._fresh_after(cur, kind, pragma=stmt, line=stmt.line)
+        self.ast_block[stmt.uid] = block.id
+        return block
+
+    def _close_region(self, open_block: BasicBlock, cur: Optional[int],
+                      barrier: bool) -> Optional[int]:
+        if cur is None:
+            return None
+        end = self._fresh_after(cur, BlockKind.OMP_END,
+                                region_open_id=open_block.id,
+                                pragma=open_block.pragma,
+                                line=open_block.line)
+        cur = end.id
+        if barrier:
+            bar = self._fresh_after(cur, BlockKind.OMP_BARRIER, implicit=True,
+                                    pragma=open_block.pragma, line=open_block.line)
+            cur = bar.id
+        return cur
+
+    def _translate_omp(self, stmt: A.OmpStmt, cur: int) -> Optional[int]:
+        if isinstance(stmt, A.OmpBarrier):
+            block = self._fresh_after(cur, BlockKind.OMP_BARRIER, implicit=False,
+                                      pragma=stmt, line=stmt.line)
+            self.ast_block[stmt.uid] = block.id
+            return block.id
+
+        if isinstance(stmt, A.OmpParallel):
+            open_block = self._open_region(BlockKind.OMP_PARALLEL, stmt, cur)
+            body_end = self._translate_block(stmt.body, open_block.id)
+            # The join of a parallel region is an implicit barrier.
+            return self._close_region(open_block, body_end, barrier=True)
+
+        if isinstance(stmt, A.OmpSingle):
+            open_block = self._open_region(BlockKind.OMP_SINGLE, stmt, cur)
+            body_end = self._translate_block(stmt.body, open_block.id)
+            return self._close_region(open_block, body_end, barrier=not stmt.nowait)
+
+        if isinstance(stmt, A.OmpMaster):
+            open_block = self._open_region(BlockKind.OMP_MASTER, stmt, cur)
+            body_end = self._translate_block(stmt.body, open_block.id)
+            return self._close_region(open_block, body_end, barrier=False)
+
+        if isinstance(stmt, A.OmpCritical):
+            open_block = self._open_region(BlockKind.OMP_CRITICAL, stmt, cur)
+            body_end = self._translate_block(stmt.body, open_block.id)
+            return self._close_region(open_block, body_end, barrier=False)
+
+        if isinstance(stmt, A.OmpTask):
+            open_block = self._open_region(BlockKind.OMP_TASK, stmt, cur)
+            body_end = self._translate_block(stmt.body, open_block.id)
+            return self._close_region(open_block, body_end, barrier=False)
+
+        if isinstance(stmt, A.OmpFor):
+            open_block = self._open_region(BlockKind.OMP_FOR, stmt, cur)
+            loop_end = self._translate_for(stmt.loop, open_block.id, record_uid=False)
+            return self._close_region(open_block, loop_end, barrier=not stmt.nowait)
+
+        if isinstance(stmt, A.OmpSections):
+            open_block = self._open_region(BlockKind.OMP_SECTIONS, stmt, cur)
+            cur2: Optional[int] = open_block.id
+            for section in stmt.sections:
+                sec_block = self._fresh_after(cur2, BlockKind.OMP_SECTION,
+                                              pragma=stmt, line=section.line)
+                self.ast_block[section.uid] = sec_block.id
+                sec_end = self._translate_block(section, sec_block.id)
+                cur2 = self._close_region(sec_block, sec_end, barrier=False)
+                if cur2 is None:
+                    break
+            return self._close_region(open_block, cur2, barrier=not stmt.nowait)
+
+        raise TypeError(f"cannot translate OpenMP node {type(stmt).__name__}")
+
+
+def build_cfg(func: A.FuncDef, user_funcs: Optional[set] = None) -> Tuple[CFG, Dict[int, int]]:
+    """Build the CFG of ``func``; returns ``(cfg, ast_uid -> block_id)``."""
+    builder = CFGBuilder(func, user_funcs)
+    cfg = builder.build()
+    return cfg, builder.ast_block
+
+
+def build_program_cfgs(program: A.Program) -> Dict[str, Tuple[CFG, Dict[int, int]]]:
+    """Build CFGs for every function of ``program``."""
+    user_funcs = {f.name for f in program.funcs}
+    return {f.name: build_cfg(f, user_funcs) for f in program.funcs}

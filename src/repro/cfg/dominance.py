@@ -1,0 +1,156 @@
+"""Dominator/post-dominator trees and (iterated) dominance frontiers.
+
+Implementation follows Cooper, Harvey & Kennedy, *A Simple, Fast Dominance
+Algorithm* — the same engine serves both directions: post-dominators are
+dominators of the reverse graph rooted at the CFG exit.
+
+The **iterated post-dominance frontier** ``PDF+`` is the core of PARCOACH's
+Algorithm 1: for the set ``S_c`` of nodes calling collective ``c``,
+``PDF+(S_c)`` is exactly the set of branch points where the execution of the
+remaining ``c``-sequence may diverge between MPI processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .graph import CFG
+
+
+class DominatorTree:
+    """Immediate-(post)dominator tree for a CFG.
+
+    Parameters
+    ----------
+    cfg:
+        The graph to analyse.
+    post:
+        When True compute *post*-dominators (reverse graph, rooted at exit).
+    """
+
+    def __init__(self, cfg: CFG, post: bool = False) -> None:
+        self.cfg = cfg
+        self.post = post
+        self.root = cfg.exit_id if post else cfg.entry_id
+        self._preds = cfg.successors if post else cfg.predecessors
+        self._succs = cfg.predecessors if post else cfg.successors
+        #: node -> immediate dominator (root maps to itself)
+        self.idom: Dict[int, int] = {}
+        self._rpo: List[int] = cfg.reverse_postorder(self.root, reverse_graph=post)
+        self._rpo_index = {b: i for i, b in enumerate(self._rpo)}
+        self._compute()
+        self._children: Optional[Dict[int, List[int]]] = None
+        self._frontier: Optional[Dict[int, Set[int]]] = None
+
+    # -- Cooper–Harvey–Kennedy ------------------------------------------------
+
+    def _intersect(self, a: int, b: int) -> int:
+        while a != b:
+            while self._rpo_index[a] > self._rpo_index[b]:
+                a = self.idom[a]
+            while self._rpo_index[b] > self._rpo_index[a]:
+                b = self.idom[b]
+        return a
+
+    def _compute(self) -> None:
+        self.idom = {self.root: self.root}
+        changed = True
+        while changed:
+            changed = False
+            for node in self._rpo:
+                if node == self.root:
+                    continue
+                new_idom: Optional[int] = None
+                for pred in self._preds(node):
+                    if pred not in self._rpo_index:
+                        continue  # unreachable in this direction
+                    if pred in self.idom:
+                        new_idom = pred if new_idom is None else self._intersect(new_idom, pred)
+                if new_idom is None:
+                    continue
+                if self.idom.get(node) != new_idom:
+                    self.idom[node] = new_idom
+                    changed = True
+
+    # -- queries -----------------------------------------------------------------
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when ``a`` (post)dominates ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return node == a
+            node = parent
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self) -> Dict[int, List[int]]:
+        """Dominator-tree children mapping."""
+        if self._children is None:
+            kids: Dict[int, List[int]] = {n: [] for n in self.idom}
+            for node, parent in self.idom.items():
+                if node != parent:
+                    kids[parent].append(node)
+            self._children = kids
+        return self._children
+
+    def dominance_frontier(self) -> Dict[int, Set[int]]:
+        """Classic per-node dominance frontier (Cytron et al. via CHK)."""
+        if self._frontier is not None:
+            return self._frontier
+        frontier: Dict[int, Set[int]] = {n: set() for n in self.idom}
+        for node in self.idom:
+            preds = [p for p in self._preds(node) if p in self.idom]
+            if len(preds) >= 2:
+                for pred in preds:
+                    runner = pred
+                    while runner != self.idom[node]:
+                        frontier.setdefault(runner, set()).add(node)
+                        nxt = self.idom.get(runner)
+                        if nxt is None or nxt == runner:
+                            break
+                        runner = nxt
+        self._frontier = frontier
+        return frontier
+
+    def iterated_frontier(self, nodes: Iterable[int]) -> Set[int]:
+        """Iterated (post)dominance frontier ``DF+``/``PDF+`` of ``nodes``."""
+        frontier = self.dominance_frontier()
+        result: Set[int] = set()
+        work = [n for n in nodes if n in self.idom]
+        seen: Set[int] = set(work)
+        while work:
+            node = work.pop()
+            for f in frontier.get(node, ()):  # frontier nodes are branch points
+                if f not in result:
+                    result.add(f)
+                    if f not in seen:
+                        seen.add(f)
+                        work.append(f)
+        return result
+
+
+def dominators(cfg: CFG) -> DominatorTree:
+    """Dominator tree of ``cfg`` (cached on the graph — CFGs are immutable
+    once built, and PARCOACH reuses the compiler's trees)."""
+    if cfg.dom_cache is None:
+        cfg.dom_cache = DominatorTree(cfg, post=False)
+    return cfg.dom_cache
+
+
+def post_dominators(cfg: CFG) -> DominatorTree:
+    """Post-dominator tree of ``cfg`` (cached, see :func:`dominators`)."""
+    if cfg.pdom_cache is None:
+        cfg.pdom_cache = DominatorTree(cfg, post=True)
+    return cfg.pdom_cache
+
+
+def pdf_plus(cfg: CFG, nodes: Iterable[int],
+             pdom: Optional[DominatorTree] = None) -> Set[int]:
+    """``PDF+`` of ``nodes`` — PARCOACH Algorithm 1's divergence points."""
+    tree = pdom if pdom is not None else post_dominators(cfg)
+    return tree.iterated_frontier(nodes)

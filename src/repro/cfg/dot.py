@@ -1,0 +1,34 @@
+"""Graphviz DOT export of CFGs (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from .basic_block import BlockKind
+from .graph import CFG
+
+_COLORS = {
+    BlockKind.ENTRY: "lightgreen",
+    BlockKind.EXIT: "lightcoral",
+    BlockKind.COLLECTIVE: "gold",
+    BlockKind.CALL: "khaki",
+    BlockKind.CONDITION: "lightblue",
+    BlockKind.OMP_PARALLEL: "plum",
+    BlockKind.OMP_SINGLE: "palegreen",
+    BlockKind.OMP_MASTER: "palegreen",
+    BlockKind.OMP_BARRIER: "orange",
+}
+
+
+def to_dot(cfg: CFG, highlight: set | None = None) -> str:
+    """Render ``cfg`` as a DOT digraph; ``highlight`` ids get a red border."""
+    highlight = highlight or set()
+    lines = [f'digraph "{cfg.func_name}" {{', "  node [shape=box, style=filled];"]
+    for block in cfg:
+        color = _COLORS.get(block.kind, "white")
+        extra = ", color=red, penwidth=2" if block.id in highlight else ""
+        label = block.label().replace('"', "'")
+        lines.append(f'  n{block.id} [label="{label}", fillcolor={color}{extra}];')
+    for src, dst in cfg.edge_list():
+        style = " [style=dashed]" if (src, dst) in cfg.virtual_edges else ""
+        lines.append(f"  n{src} -> n{dst}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,185 @@
+"""The control-flow graph container.
+
+A :class:`CFG` owns its blocks and the (ordered) successor/predecessor
+adjacency.  It always has a unique ``entry`` and a unique ``exit`` block;
+``ensure_exit_reachable`` adds virtual edges so post-dominance is well
+defined even with infinite loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .basic_block import BasicBlock, BlockKind
+
+
+class CFG:
+    def __init__(self, func_name: str = "<anon>") -> None:
+        self.func_name = func_name
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        self._next_id = 0
+        self.entry_id: int = -1
+        self.exit_id: int = -1
+        #: Edges added only to make the exit reachable (ignored by execution).
+        self.virtual_edges: Set[Tuple[int, int]] = set()
+        #: Dominator-tree caches (filled by repro.cfg.dominance; CFGs are
+        #: immutable once built, so the compiler and PARCOACH share them).
+        self.dom_cache = None
+        self.pdom_cache = None
+
+    # -- construction ---------------------------------------------------------
+
+    def new_block(self, kind: BlockKind, **kwargs) -> BasicBlock:
+        block = BasicBlock(id=self._next_id, kind=kind, **kwargs)
+        self.blocks[block.id] = block
+        self._succ[block.id] = []
+        self._pred[block.id] = []
+        self._next_id += 1
+        return block
+
+    def add_edge(self, src: int, dst: int, virtual: bool = False) -> None:
+        if dst not in self._succ[src]:
+            self._succ[src].append(dst)
+            self._pred[dst].append(src)
+        if virtual:
+            self.virtual_edges.add((src, dst))
+
+    # -- queries ------------------------------------------------------------------
+
+    def successors(self, block_id: int) -> List[int]:
+        return list(self._succ[block_id])
+
+    def predecessors(self, block_id: int) -> List[int]:
+        return list(self._pred[block_id])
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.exit_id]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterable[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def blocks_of_kind(self, *kinds: BlockKind) -> List[BasicBlock]:
+        wanted = set(kinds)
+        return [b for b in self.blocks.values() if b.kind in wanted]
+
+    def collective_blocks(self) -> List[BasicBlock]:
+        return self.blocks_of_kind(BlockKind.COLLECTIVE)
+
+    def branch_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.blocks.values() if len(self._succ[b.id]) > 1]
+
+    # -- traversals --------------------------------------------------------------
+
+    def reverse_postorder(self, start: Optional[int] = None,
+                          reverse_graph: bool = False) -> List[int]:
+        """Reverse postorder over (possibly reversed) edges from ``start``."""
+        if start is None:
+            start = self.exit_id if reverse_graph else self.entry_id
+        adj = self._pred if reverse_graph else self._succ
+        seen: Set[int] = set()
+        order: List[int] = []
+        # Iterative DFS with an explicit stack to avoid recursion limits on
+        # the large generated benchmark programs.
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        seen.add(start)
+        while stack:
+            node, i = stack[-1]
+            succs = adj[node]
+            if i < len(succs):
+                stack[-1] = (node, i + 1)
+                nxt = succs[i]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        return order
+
+    def reachable_from_entry(self) -> Set[int]:
+        return set(self.reverse_postorder(self.entry_id))
+
+    def can_reach_exit(self) -> Set[int]:
+        return set(self.reverse_postorder(self.exit_id, reverse_graph=True))
+
+    # -- normalization ---------------------------------------------------------------
+
+    def remove_unreachable(self) -> int:
+        """Drop blocks not reachable from entry (keep exit). Returns count removed."""
+        reachable = self.reachable_from_entry()
+        reachable.add(self.exit_id)
+        doomed = [bid for bid in self.blocks if bid not in reachable]
+        for bid in doomed:
+            for succ in self._succ.pop(bid, []):
+                if succ in self._pred:
+                    self._pred[succ] = [p for p in self._pred[succ] if p != bid]
+            for pred in self._pred.pop(bid, []):
+                if pred in self._succ:
+                    self._succ[pred] = [s for s in self._succ[pred] if s != bid]
+            del self.blocks[bid]
+        return len(doomed)
+
+    def ensure_exit_reachable(self) -> int:
+        """Add virtual edges so every block can reach exit (infinite loops).
+
+        Returns the number of virtual edges added.  Needed for post-dominator
+        computation; execution semantics are unaffected because virtual edges
+        are recorded in :attr:`virtual_edges`.
+        """
+        added = 0
+        while True:
+            can_reach = self.can_reach_exit()
+            stuck = [bid for bid in self.blocks if bid not in can_reach]
+            if not stuck:
+                return added
+            # Pick the smallest stuck id that is reachable from entry to keep
+            # the virtual structure deterministic.
+            reachable = self.reachable_from_entry()
+            candidates = [b for b in stuck if b in reachable] or stuck
+            self.add_edge(min(candidates), self.exit_id, virtual=True)
+            added += 1
+
+    def validate(self) -> List[str]:
+        """Structural sanity checks; returns a list of problem descriptions."""
+        problems: List[str] = []
+        if self.entry_id not in self.blocks:
+            problems.append("missing entry block")
+        if self.exit_id not in self.blocks:
+            problems.append("missing exit block")
+        for bid, succs in self._succ.items():
+            for s in succs:
+                if s not in self.blocks:
+                    problems.append(f"edge {bid}->{s} to unknown block")
+                elif bid not in self._pred[s]:
+                    problems.append(f"asymmetric edge {bid}->{s}")
+        for block in self.blocks.values():
+            nsucc = len(self._succ[block.id])
+            if block.kind is BlockKind.CONDITION and nsucc != 2:
+                problems.append(f"condition block {block.id} has {nsucc} successors")
+            if block.kind is BlockKind.EXIT and nsucc != 0:
+                problems.append(f"exit block has successors {self._succ[block.id]}")
+            if block.kind is BlockKind.COLLECTIVE:
+                n_coll = sum(
+                    1 for s in block.stmts
+                    for _ in [0]
+                )
+                if block.collective is None:
+                    problems.append(f"collective block {block.id} without collective name")
+        return problems
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        return [(src, dst) for src, succs in self._succ.items() for dst in succs]

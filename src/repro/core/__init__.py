@@ -1,0 +1,36 @@
+"""The paper's contribution: PARCOACH static analysis + instrumentation for
+MPI collectives in multi-threaded (MPI+OpenMP) context."""
+
+from .concurrency import ConcurrencyResult, analyze_concurrency, words_concurrent
+from .diagnostics import Diagnostic, DiagnosticBag, ErrorCode, SourceRef
+from .driver import FunctionAnalysis, ProgramAnalysis, analyze_program
+from .instrument import InstrumentationReport, instrument_program
+from .monothread import MonothreadResult, analyze_monothread
+from .report import analysis_summary, render_report
+from .sequence import CollectiveFinding, SequenceResult, analyze_sequence
+from .sites import CollectiveSite, collect_sites, collective_call_graph
+
+__all__ = [
+    "ConcurrencyResult",
+    "analyze_concurrency",
+    "words_concurrent",
+    "Diagnostic",
+    "DiagnosticBag",
+    "ErrorCode",
+    "SourceRef",
+    "FunctionAnalysis",
+    "ProgramAnalysis",
+    "analyze_program",
+    "InstrumentationReport",
+    "instrument_program",
+    "MonothreadResult",
+    "analyze_monothread",
+    "analysis_summary",
+    "render_report",
+    "CollectiveFinding",
+    "SequenceResult",
+    "analyze_sequence",
+    "CollectiveSite",
+    "collect_sites",
+    "collective_call_graph",
+]

@@ -1,0 +1,114 @@
+"""Phase 2 — detection of *concurrent monothreaded regions*.
+
+Two collectives, each in a monothreaded region, may still execute
+simultaneously when the regions themselves can run in parallel: the paper's
+criterion is ``pw[n1] = w·S_j·u``, ``pw[n2] = w·S_k·v`` with ``j ≠ k`` and
+the same number of ``B`` tokens (no barrier orders the two regions; this is
+exactly what ``single nowait`` or two ``section``s of one ``sections``
+construct produce).
+
+Flagged sites form the set **S**; the region-begin construct uids form
+**Scc** — instrumented with runtime concurrency counters.  Sites in one
+connected component of the "may-run-concurrently" relation share a *check
+group*: at run time a per-process counter is incremented on entry of any
+site of the group and an overlap (counter ≥ 2) aborts the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..minilang import ast_nodes as A
+from ..parallelism import (
+    S,
+    WordInfo,
+    common_prefix,
+    count_barriers,
+    format_word,
+    is_monothreaded,
+)
+from .diagnostics import Diagnostic, ErrorCode, SourceRef
+from .sites import CollectiveSite
+
+
+@dataclass
+class ConcurrencyResult:
+    """Output of phase 2 for one function."""
+
+    #: Pairs of site uids that may execute concurrently.
+    concurrent_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    #: Region-begin construct uids (the paper's Scc).
+    scc_uids: Set[int] = field(default_factory=set)
+    #: Site uid -> check-group id (connected components of the relation).
+    groups: Dict[int, int] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+
+def words_concurrent(w1, w2) -> bool:
+    """The paper's concurrency criterion on two parallelism words."""
+    if w1 == w2:
+        return False
+    prefix = common_prefix(w1, w2)
+    if len(prefix) >= len(w1) or len(prefix) >= len(w2):
+        return False  # one word prefixes the other: same thread, sequential
+    t1, t2 = w1[len(prefix)], w2[len(prefix)]
+    if not (isinstance(t1, S) and isinstance(t2, S)):
+        return False
+    if t1.region_id == t2.region_id:
+        return False
+    return count_barriers(w1) == count_barriers(w2)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def analyze_concurrency(func: A.FuncDef, info: WordInfo,
+                        sites: List[CollectiveSite]) -> ConcurrencyResult:
+    result = ConcurrencyResult()
+    mono_sites = [s for s in sites if is_monothreaded(info.words[s.uid])]
+    uf = _UnionFind()
+
+    for i in range(len(mono_sites)):
+        for j in range(i + 1, len(mono_sites)):
+            s1, s2 = mono_sites[i], mono_sites[j]
+            w1, w2 = info.words[s1.uid], info.words[s2.uid]
+            if not words_concurrent(w1, w2):
+                continue
+            result.concurrent_pairs.append((s1.uid, s2.uid))
+            uf.union(s1.uid, s2.uid)
+            prefix_len = len(common_prefix(w1, w2))
+            for word in (w1, w2):
+                token = word[prefix_len]
+                assert isinstance(token, S)
+                result.scc_uids.add(token.region_id)
+            result.diagnostics.append(Diagnostic(
+                code=ErrorCode.COLLECTIVE_CONCURRENT,
+                function=func.name,
+                message=(
+                    f"{s1.name} and {s2.name} are in concurrent monothreaded "
+                    f"regions and may execute simultaneously"
+                ),
+                collectives=(SourceRef(s1.name, s1.line), SourceRef(s2.name, s2.line)),
+                context=(
+                    f"words {format_word(w1)} / {format_word(w2)}"
+                ),
+            ))
+
+    for uid in uf.parent:
+        result.groups[uid] = uf.find(uid)
+    return result

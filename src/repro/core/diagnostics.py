@@ -1,0 +1,91 @@
+"""Diagnostic records emitted by the static analyses.
+
+The paper (§4): "our analysis issues warnings for potential MPI collective
+errors within an MPI process and between MPI processes. The type of each
+potential error is specified (collective mismatch, concurrent collective
+calls, ...) with the names and lines in the source code of MPI collective
+calls involved."  :class:`Diagnostic` captures exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ErrorCode(enum.Enum):
+    COLLECTIVE_MULTITHREADED = "collective-multithreaded"
+    COLLECTIVE_CONCURRENT = "concurrent-collective-calls"
+    COLLECTIVE_MISMATCH = "collective-mismatch"
+    THREAD_LEVEL = "insufficient-thread-level"
+    TASK_CONTEXT = "collective-in-task"
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """A (collective name, source line) pair as reported to the user."""
+
+    name: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.name} (line {self.line})"
+
+
+@dataclass
+class Diagnostic:
+    code: ErrorCode
+    function: str
+    message: str
+    collectives: Tuple[SourceRef, ...] = ()
+    conditionals: Tuple[int, ...] = ()  # source lines of guilty control flow
+    severity: str = "warning"
+    #: Parallelism word(s) involved, pre-formatted (context for the user).
+    context: str = ""
+
+    def render(self) -> str:
+        parts = [f"[{self.code.value}] {self.function}: {self.message}"]
+        if self.collectives:
+            parts.append("  collectives: " + ", ".join(str(c) for c in self.collectives))
+        if self.conditionals:
+            lines = ", ".join(str(line) for line in sorted(set(self.conditionals)))
+            parts.append(f"  control-flow divergence at line(s): {lines}")
+        if self.context:
+            parts.append(f"  context: {self.context}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class DiagnosticBag:
+    """Accumulates diagnostics across functions and phases."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def by_code(self, code: ErrorCode) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code is code]
+
+    def count(self, code: Optional[ErrorCode] = None) -> int:
+        if code is None:
+            return len(self.diagnostics)
+        return len(self.by_code(code))
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no warnings\n"
+        return "\n".join(d.render() for d in self.diagnostics) + "\n"

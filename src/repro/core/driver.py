@@ -1,0 +1,243 @@
+"""Whole-program analysis driver.
+
+Runs, per function: CFG construction, parallelism-word computation, phase 1
+(monothread), phase 2 (concurrency), phase 3 (Algorithm 1 / PDF+); then the
+program-level passes: collective call graph, MPI thread-level check against
+``MPI_Init_thread``, check-group assignment, and the selective
+instrumentation plan (which functions get CC/ENTER checks).
+
+Selective instrumentation rule: a function is instrumented when any phase
+flagged it, or when it may execute collectives and is transitively callable
+from a flagged function (keeps the CC pairing aligned across processes
+while leaving fully verified call trees untouched — the property Figure 1's
+"verification code generation" overhead and the ablation bench measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cfg import CFG, build_cfg
+from ..minilang import ast_nodes as A
+from ..mpi.collectives import COLLECTIVES
+from ..mpi.thread_levels import LEVEL_FROM_INT, ThreadLevel
+from ..parallelism import EMPTY, Word, WordInfo, compute_words, is_monothreaded
+from .concurrency import ConcurrencyResult, analyze_concurrency
+from .diagnostics import Diagnostic, DiagnosticBag, ErrorCode, SourceRef
+from .monothread import MonothreadResult, analyze_monothread
+from .sequence import SequenceResult, analyze_sequence
+from .sites import (
+    CollectiveSite,
+    ProgramIndex,
+    collect_sites,
+    collective_call_graph,
+    index_program,
+)
+
+
+@dataclass
+class FunctionAnalysis:
+    """All per-function analysis artefacts."""
+
+    func: A.FuncDef
+    cfg: CFG
+    ast_block: Dict[int, int]
+    word_info: WordInfo
+    sites: List[CollectiveSite]
+    monothread: MonothreadResult
+    concurrency: ConcurrencyResult
+    sequence: SequenceResult
+    #: True when any phase flagged this function.
+    flagged: bool = False
+    #: True when the instrumentation plan covers this function.
+    instrumented: bool = False
+    #: Site uid -> check-group ids whose ENTER/EXIT counters wrap the site.
+    check_groups: Dict[int, List[int]] = field(default_factory=dict)
+    #: Site uids that receive a CC call (all sites of instrumented functions).
+    cc_sites: Set[int] = field(default_factory=set)
+    #: Site uids whose context is multithreaded (ENTER aborts >1 threads).
+    multithreaded_sites: Set[int] = field(default_factory=set)
+
+    @property
+    def n_collectives(self) -> int:
+        return sum(1 for s in self.sites if s.kind == "collective")
+
+
+@dataclass
+class ProgramAnalysis:
+    program: A.Program
+    functions: Dict[str, FunctionAnalysis]
+    diagnostics: DiagnosticBag
+    collective_funcs: Set[str]
+    requested_level: Optional[ThreadLevel]
+    precision: str = "paper"
+    #: Check-group id -> "multithread" | "concurrent" (selects the runtime
+    #: error type raised when the group's counter overlaps).
+    group_kinds: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def flagged_functions(self) -> List[str]:
+        return [n for n, fa in self.functions.items() if fa.flagged]
+
+    @property
+    def instrumented_functions(self) -> List[str]:
+        return [n for n, fa in self.functions.items() if fa.instrumented]
+
+    @property
+    def verified(self) -> bool:
+        """True when no warnings were produced — the program is statically
+        proven correct and needs zero runtime checks."""
+        return len(self.diagnostics) == 0
+
+    def function(self, name: str) -> FunctionAnalysis:
+        return self.functions[name]
+
+
+def _find_requested_level(index: ProgramIndex) -> Optional[ThreadLevel]:
+    """Thread level requested via MPI_Init_thread(n) / MPI_Init()."""
+    for calls in index.calls.values():
+        for node in calls:
+            if node.name == "MPI_Init_thread" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, A.IntLit):
+                    return LEVEL_FROM_INT.get(arg.value, ThreadLevel.MULTIPLE)
+                return None  # dynamic level: cannot check statically
+            if node.name == "MPI_Init":
+                return ThreadLevel.SINGLE
+    return None
+
+
+def _call_edges(program: A.Program, index: ProgramIndex) -> Dict[str, Set[str]]:
+    funcs = {f.name for f in program.funcs}
+    return {
+        name: {c.name for c in calls if c.name in funcs}
+        for name, calls in index.calls.items()
+    }
+
+
+def analyze_program(
+    program: A.Program,
+    initial_words: Optional[Dict[str, Word]] = None,
+    precision: str = "paper",
+    instrument_all: bool = False,
+    cfgs: Optional[Dict[str, tuple]] = None,
+) -> ProgramAnalysis:
+    """Run the full static analysis.
+
+    Parameters
+    ----------
+    initial_words:
+        Per-function initial parallelism word (the paper's initial-level
+        option).  Functions default to the empty (monothreaded) word.
+    precision:
+        Passed to phase 3 (``"paper"`` or ``"counting"``).
+    instrument_all:
+        Ablation switch: plan CC/ENTER checks for *every* collective of every
+        function, regardless of the static verdict (blanket instrumentation
+        baseline for the selective-instrumentation ablation).
+    cfgs:
+        Pre-built CFGs (``{name: (cfg, ast_block)}``) from the compiler's
+        middle end; PARCOACH reuses them instead of rebuilding (the paper's
+        pass works directly on GCC's CFG).
+    """
+    initial_words = initial_words or {}
+    diagnostics = DiagnosticBag()
+    index = index_program(program)
+    collective_funcs = collective_call_graph(program, index)
+    functions: Dict[str, FunctionAnalysis] = {}
+    group_counter = 0
+    group_kinds: Dict[int, str] = {}
+
+    func_names = {f.name for f in program.funcs}
+    for func in program.funcs:
+        if cfgs is not None and func.name in cfgs:
+            cfg, ast_block = cfgs[func.name]
+        else:
+            cfg, ast_block = build_cfg(func, func_names)
+        info = compute_words(func, initial_words.get(func.name, EMPTY))
+        sites = collect_sites(func, collective_funcs,
+                              index.call_stmts.get(func.name))
+        mono = analyze_monothread(func, info, sites)
+        conc = analyze_concurrency(func, info, sites)
+        seq = analyze_sequence(func.name, cfg, collective_funcs, precision)
+
+        fa = FunctionAnalysis(
+            func=func, cfg=cfg, ast_block=ast_block, word_info=info,
+            sites=sites, monothread=mono, concurrency=conc, sequence=seq,
+        )
+        fa.flagged = bool(
+            mono.multithreaded_sites or conc.concurrent_pairs or seq.conditionals
+        )
+
+        # Check-group assignment: one group per multithreaded site, one per
+        # concurrency component.
+        for site in mono.multithreaded_sites:
+            group_counter += 1
+            group_kinds[group_counter] = "multithread"
+            fa.check_groups.setdefault(site.uid, []).append(group_counter)
+            fa.multithreaded_sites.add(site.uid)
+        component_group: Dict[int, int] = {}
+        for site_uid, root in conc.groups.items():
+            if root not in component_group:
+                group_counter += 1
+                group_kinds[group_counter] = "concurrent"
+                component_group[root] = group_counter
+            fa.check_groups.setdefault(site_uid, []).append(component_group[root])
+
+        diagnostics.extend(mono.diagnostics)
+        diagnostics.extend(conc.diagnostics)
+        diagnostics.extend(seq.diagnostics)
+        functions[func.name] = fa
+
+    # Thread-level comparison against the requested level.
+    requested = _find_requested_level(index)
+    if requested is not None:
+        for name, fa in functions.items():
+            needed = fa.monothread.max_required_level
+            if needed > requested:
+                offenders = tuple(
+                    SourceRef(site.name, site.line)
+                    for site in fa.sites
+                    if fa.monothread.required_levels.get(site.uid, ThreadLevel.SINGLE) > requested
+                )
+                diagnostics.add(Diagnostic(
+                    code=ErrorCode.THREAD_LEVEL,
+                    function=name,
+                    message=(
+                        f"collectives require {needed.mpi_name} but the program "
+                        f"requests only {requested.mpi_name}"
+                    ),
+                    collectives=offenders,
+                ))
+
+    # Selective instrumentation plan.
+    flagged = {n for n, fa in functions.items() if fa.flagged}
+    if instrument_all:
+        to_instrument = {n for n, fa in functions.items() if fa.sites}
+    else:
+        to_instrument = set(flagged)
+        edges = _call_edges(program, index)
+        # Transitive closure of calls from flagged functions.
+        work = list(flagged)
+        reachable: Set[str] = set()
+        while work:
+            f = work.pop()
+            for callee in edges.get(f, ()):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    work.append(callee)
+        to_instrument |= {f for f in reachable if f in collective_funcs}
+
+    for name in to_instrument:
+        fa = functions[name]
+        if not fa.sites:
+            continue
+        fa.instrumented = True
+        fa.cc_sites = {s.uid for s in fa.sites}
+
+    return ProgramAnalysis(
+        program=program, functions=functions, diagnostics=diagnostics,
+        collective_funcs=collective_funcs, requested_level=requested,
+        precision=precision, group_kinds=group_kinds,
+    )

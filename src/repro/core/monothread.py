@@ -1,0 +1,94 @@
+"""Phase 1 — every MPI collective must execute in a monothreaded context.
+
+For each collective site, check whether its parallelism word belongs to the
+language ``L``.  Sites outside ``L`` form the paper's set **S** (with the
+innermost parallel construct entries as **Sipw**, the nodes to instrument
+with runtime thread-count checks) and produce a
+``COLLECTIVE_MULTITHREADED`` warning that names the collective, its source
+line, and the word (thread context) that rejected it.
+
+The phase also derives the minimum MPI thread level each site requires; the
+driver compares these against the level the program requests via
+``MPI_Init_thread``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..minilang import ast_nodes as A
+from ..mpi.thread_levels import ThreadLevel, required_level
+from ..parallelism import (
+    WordInfo,
+    format_word,
+    has_parallel,
+    innermost_single,
+    is_monothreaded,
+)
+from .diagnostics import Diagnostic, ErrorCode, SourceRef
+from .sites import CollectiveSite
+
+
+@dataclass
+class MonothreadResult:
+    """Output of phase 1 for one function."""
+
+    #: Sites whose word is outside L (the paper's set S).
+    multithreaded_sites: List[CollectiveSite] = field(default_factory=list)
+    #: AST uids of the innermost enclosing parallel constructs of those sites
+    #: (the paper's Sipw — where the multithreaded execution is created).
+    sipw_uids: Set[int] = field(default_factory=set)
+    #: Site uid -> minimal MPI thread level it requires.
+    required_levels: Dict[int, ThreadLevel] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def max_required_level(self) -> ThreadLevel:
+        if not self.required_levels:
+            return ThreadLevel.SINGLE
+        return max(self.required_levels.values())
+
+
+def _innermost_parallel_uid(site: CollectiveSite, info: WordInfo) -> Optional[int]:
+    """The uid of the innermost enclosing parallel/task construct of a site."""
+    for uid in reversed(info.enclosing.get(site.uid, ())):
+        if info.construct_kinds.get(uid) in ("parallel", "task"):
+            return uid
+    return None
+
+
+def analyze_monothread(func: A.FuncDef, info: WordInfo,
+                       sites: List[CollectiveSite]) -> MonothreadResult:
+    result = MonothreadResult()
+    for site in sites:
+        word = info.words[site.uid]
+        mono = is_monothreaded(word)
+        single = innermost_single(word)
+        master_only = single is not None and single.kind == "master"
+        result.required_levels[site.uid] = required_level(
+            has_parallel(word), mono, master_only
+        )
+        in_task = any(
+            info.construct_kinds.get(uid) == "task"
+            for uid in info.enclosing.get(site.uid, ())
+        )
+        if mono and not in_task:
+            continue
+        result.multithreaded_sites.append(site)
+        parallel_uid = _innermost_parallel_uid(site, info)
+        if parallel_uid is not None:
+            result.sipw_uids.add(parallel_uid)
+        code = ErrorCode.TASK_CONTEXT if in_task else ErrorCode.COLLECTIVE_MULTITHREADED
+        what = "task region" if in_task else "multithreaded context"
+        result.diagnostics.append(Diagnostic(
+            code=code,
+            function=func.name,
+            message=(
+                f"{site.name} may be executed in a {what}; requires "
+                f"MPI_THREAD_MULTIPLE and a single executing thread"
+            ),
+            collectives=(SourceRef(site.name, site.line),),
+            context=f"parallelism word {format_word(word)}",
+        ))
+    return result

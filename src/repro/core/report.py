@@ -1,0 +1,74 @@
+"""Human- and machine-readable rendering of analysis results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..parallelism import format_word
+from .diagnostics import ErrorCode
+from .driver import ProgramAnalysis
+
+
+def analysis_summary(analysis: ProgramAnalysis) -> Dict[str, Any]:
+    """A JSON-friendly summary of one program analysis."""
+    per_function = {}
+    for name, fa in analysis.functions.items():
+        per_function[name] = {
+            "blocks": len(fa.cfg),
+            "collectives": fa.n_collectives,
+            "sites": len(fa.sites),
+            "flagged": fa.flagged,
+            "instrumented": fa.instrumented,
+            "multithreaded_sites": len(fa.monothread.multithreaded_sites),
+            "concurrent_pairs": len(fa.concurrency.concurrent_pairs),
+            "mismatch_conditionals": len(fa.sequence.conditionals),
+            "required_level": fa.monothread.max_required_level.mpi_name,
+        }
+    warnings_by_code = {
+        code.value: analysis.diagnostics.count(code) for code in ErrorCode
+    }
+    return {
+        "functions": per_function,
+        "warnings_total": len(analysis.diagnostics),
+        "warnings_by_code": warnings_by_code,
+        "collective_functions": sorted(analysis.collective_funcs),
+        "flagged_functions": sorted(analysis.flagged_functions),
+        "instrumented_functions": sorted(analysis.instrumented_functions),
+        "requested_level": (
+            analysis.requested_level.mpi_name if analysis.requested_level else None
+        ),
+        "verified": analysis.verified,
+        "precision": analysis.precision,
+    }
+
+
+def render_report(analysis: ProgramAnalysis, verbose: bool = False) -> str:
+    """Multi-line text report (what the CLI prints)."""
+    lines = []
+    summary = analysis_summary(analysis)
+    lines.append(f"PARCOACH analysis of {analysis.program.filename}")
+    lines.append(
+        f"  functions: {len(analysis.functions)}; "
+        f"with collectives: {len(analysis.collective_funcs)}; "
+        f"flagged: {len(analysis.flagged_functions)}; "
+        f"instrumented: {len(analysis.instrumented_functions)}"
+    )
+    if analysis.requested_level is not None:
+        lines.append(f"  requested thread level: {analysis.requested_level.mpi_name}")
+    lines.append(f"  warnings: {summary['warnings_total']}")
+    for code, count in summary["warnings_by_code"].items():
+        if count:
+            lines.append(f"    {code}: {count}")
+    lines.append("")
+    lines.append(analysis.diagnostics.render().rstrip() or "no warnings")
+    if verbose:
+        lines.append("")
+        for name, fa in sorted(analysis.functions.items()):
+            lines.append(f"  function {name}: {len(fa.cfg)} blocks, "
+                         f"{fa.n_collectives} collectives")
+            for site in fa.sites:
+                word = fa.word_info.words[site.uid]
+                lines.append(
+                    f"    {site.name} (line {site.line}): pw = {format_word(word)}"
+                )
+    return "\n".join(lines) + "\n"

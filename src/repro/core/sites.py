@@ -1,0 +1,115 @@
+"""Collective call sites — the unit all three analysis phases operate on.
+
+A *site* is either a direct MPI collective call statement or a call to a
+user function that may (transitively) execute collectives; the latter lets
+the per-function analyses stay intraprocedural, PARCOACH-style, while still
+covering collectives reached through calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..minilang import ast_nodes as A
+from ..mpi.collectives import is_collective
+
+
+@dataclass
+class ProgramIndex:
+    """One-walk-per-function index of call expressions and call statements
+    (every analysis that needs "all calls of f" reads this instead of
+    re-walking the AST)."""
+
+    #: function name -> every Call node in its body.
+    calls: Dict[str, List[A.Call]] = field(default_factory=dict)
+    #: function name -> statement-level calls (ExprStmt wrapping a Call).
+    call_stmts: Dict[str, List[A.ExprStmt]] = field(default_factory=dict)
+
+
+def index_program(program: A.Program) -> ProgramIndex:
+    index = ProgramIndex()
+    for func in program.funcs:
+        calls: List[A.Call] = []
+        stmts: List[A.ExprStmt] = []
+        for node in func.walk():
+            if isinstance(node, A.Call):
+                calls.append(node)
+            elif isinstance(node, A.ExprStmt) and isinstance(node.expr, A.Call):
+                stmts.append(node)
+        index.calls[func.name] = calls
+        index.call_stmts[func.name] = stmts
+    return index
+
+
+@dataclass
+class CollectiveSite:
+    """One collective-relevant call statement inside a function."""
+
+    stmt: A.ExprStmt
+    call: A.Call
+    kind: str  # "collective" | "call"
+    name: str  # MPI name, or "call:<func>" for user calls
+    line: int
+
+    @property
+    def uid(self) -> int:
+        return self.stmt.uid
+
+
+def collect_sites(func: A.FuncDef,
+                  collective_funcs: Optional[Set[str]] = None,
+                  call_stmts: Optional[List[A.ExprStmt]] = None) -> List[CollectiveSite]:
+    """All collective sites of ``func`` in source order.
+
+    ``collective_funcs`` is the set of user functions that may execute a
+    collective (computed by the driver's call-graph pass); ``call_stmts``
+    optionally provides the pre-indexed statement-level calls.
+    """
+    collective_funcs = collective_funcs or set()
+    sites: List[CollectiveSite] = []
+    if call_stmts is None:
+        call_stmts = [
+            node for node in func.walk()
+            if isinstance(node, A.ExprStmt) and isinstance(node.expr, A.Call)
+        ]
+    for node in call_stmts:
+        expr = node.expr
+        assert isinstance(expr, A.Call)
+        if is_collective(expr.name):
+            sites.append(CollectiveSite(
+                stmt=node, call=expr, kind="collective",
+                name=expr.name, line=node.line or expr.line,
+            ))
+        elif expr.name in collective_funcs:
+            sites.append(CollectiveSite(
+                stmt=node, call=expr, kind="call",
+                name=f"call:{expr.name}", line=node.line or expr.line,
+            ))
+    return sites
+
+
+def collective_call_graph(program: A.Program,
+                          index: Optional[ProgramIndex] = None) -> Set[str]:
+    """Names of user functions that may (transitively) execute an MPI
+    collective — fixpoint over the call graph."""
+    funcs = {f.name: f for f in program.funcs}
+    if index is None:
+        index = index_program(program)
+    direct: dict = {}
+    calls: dict = {}
+    for name in funcs:
+        func_calls = index.calls.get(name, [])
+        direct[name] = any(is_collective(c.name) for c in func_calls)
+        calls[name] = {c.name for c in func_calls if c.name in funcs}
+    result = {name for name, has in direct.items() if has}
+    changed = True
+    while changed:
+        changed = False
+        for name in funcs:
+            if name in result:
+                continue
+            if calls[name] & result:
+                result.add(name)
+                changed = True
+    return result

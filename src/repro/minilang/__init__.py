@@ -1,0 +1,38 @@
+"""minilang — the C-like MPI+OpenMP mini-language substrate.
+
+Public surface: :func:`parse_program`, :func:`pretty`, the AST node classes
+(``repro.minilang.ast_nodes``), semantic checking, and the programmatic
+:class:`FuncBuilder` API.
+"""
+
+from . import ast_nodes
+from .ast_nodes import Program, FuncDef, ast_equal
+from .builder import FuncBuilder, binop, call, idx, lit, program, var
+from .lexer import tokenize
+from .parser import ParseError, parse_function, parse_program
+from .pretty import pretty
+from .semantics import SemanticError, SemanticIssue, check_program
+from .tokens import LexError
+
+__all__ = [
+    "ast_nodes",
+    "Program",
+    "FuncDef",
+    "ast_equal",
+    "FuncBuilder",
+    "binop",
+    "call",
+    "idx",
+    "lit",
+    "program",
+    "var",
+    "tokenize",
+    "ParseError",
+    "parse_function",
+    "parse_program",
+    "pretty",
+    "SemanticError",
+    "SemanticIssue",
+    "check_program",
+    "LexError",
+]

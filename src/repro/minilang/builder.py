@@ -1,0 +1,249 @@
+"""Fluent programmatic construction of minilang ASTs.
+
+Used by the workload generators (``repro.bench``) and by property-based tests
+to build large programs without going through text, e.g.::
+
+    b = FuncBuilder("main")
+    b.decl("int", "x", lit(0))
+    with b.omp_parallel(num_threads=lit(4)):
+        with b.omp_single():
+            b.call("MPI_Barrier")
+    program = Program(funcs=[b.build()])
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence, Union
+
+from . import ast_nodes as A
+
+ExprLike = Union[A.Expr, int, float, bool, str]
+
+
+def lit(value: Union[int, float, bool, str]) -> A.Expr:
+    """Wrap a Python literal into the corresponding minilang literal node."""
+    if isinstance(value, bool):
+        return A.BoolLit(value=value)
+    if isinstance(value, int):
+        return A.IntLit(value=value)
+    if isinstance(value, float):
+        return A.FloatLit(value=value)
+    if isinstance(value, str):
+        return A.StringLit(value=value)
+    raise TypeError(f"cannot make a literal from {type(value).__name__}")
+
+
+def _expr(value: ExprLike) -> A.Expr:
+    return value if isinstance(value, A.Expr) else lit(value)
+
+
+def var(name: str) -> A.VarRef:
+    return A.VarRef(name=name)
+
+
+def idx(name: str, index: ExprLike) -> A.ArrayRef:
+    return A.ArrayRef(name=name, index=_expr(index))
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> A.BinOp:
+    return A.BinOp(op=op, left=_expr(left), right=_expr(right))
+
+
+def call(name: str, *args: ExprLike) -> A.Call:
+    return A.Call(name=name, args=[_expr(a) for a in args])
+
+
+class FuncBuilder:
+    """Builds one function; statement-adding methods append to the innermost
+    open block (``with`` contexts open nested blocks)."""
+
+    def __init__(self, name: str, ret_type: str = "void",
+                 params: Optional[Sequence[tuple]] = None) -> None:
+        self.name = name
+        self.ret_type = ret_type
+        self.params = [A.Param(type_name=t, name=n) for t, n in (params or [])]
+        self._stack: List[List[A.Stmt]] = [[]]
+
+    # -- low-level ----------------------------------------------------------
+
+    def add(self, stmt: A.Stmt) -> A.Stmt:
+        self._stack[-1].append(stmt)
+        return stmt
+
+    @contextlib.contextmanager
+    def _block(self) -> Iterator[A.Block]:
+        self._stack.append([])
+        block = A.Block()
+        try:
+            yield block
+        finally:
+            block.stmts = self._stack.pop()
+
+    # -- plain statements ------------------------------------------------------
+
+    def decl(self, type_name: str, name: str, init: Optional[ExprLike] = None,
+             array_size: Optional[ExprLike] = None) -> None:
+        self.add(A.VarDecl(
+            type_name=type_name, name=name,
+            init=_expr(init) if init is not None else None,
+            array_size=_expr(array_size) if array_size is not None else None,
+        ))
+
+    def assign(self, target: Union[str, A.Expr], value: ExprLike, op: str = "=") -> None:
+        tgt = var(target) if isinstance(target, str) else target
+        self.add(A.Assign(target=tgt, op=op, value=_expr(value)))
+
+    def call(self, name: str, *args: ExprLike) -> None:
+        self.add(A.ExprStmt(expr=call(name, *args)))
+
+    def ret(self, value: Optional[ExprLike] = None) -> None:
+        self.add(A.Return(value=_expr(value) if value is not None else None))
+
+    def brk(self) -> None:
+        self.add(A.Break())
+
+    def cont(self) -> None:
+        self.add(A.Continue())
+
+    # -- control flow ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond: ExprLike) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.If(cond=_expr(cond), then_body=body))
+
+    @contextlib.contextmanager
+    def if_else(self, cond: ExprLike) -> Iterator["_ElseSwitch"]:
+        node = A.If(cond=_expr(cond), then_body=A.Block(), else_body=A.Block())
+        switch = _ElseSwitch(self, node)
+        self._stack.append([])
+        try:
+            yield switch
+        finally:
+            switch._finish()
+        self.add(node)
+
+    @contextlib.contextmanager
+    def while_(self, cond: ExprLike) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.While(cond=_expr(cond), body=body))
+
+    @contextlib.contextmanager
+    def for_range(self, name: str, stop: ExprLike, start: ExprLike = 0,
+                  step: int = 1) -> Iterator[None]:
+        """``for (int name = start; name < stop; name += step) { ... }``"""
+        with self._block() as body:
+            yield
+        self.add(_make_for(name, start, stop, step, body))
+
+    # -- OpenMP -------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def omp_parallel(self, num_threads: Optional[ExprLike] = None,
+                     private: Optional[Sequence[str]] = None) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.OmpParallel(
+            body=body,
+            num_threads=_expr(num_threads) if num_threads is not None else None,
+            private=list(private or []),
+        ))
+
+    @contextlib.contextmanager
+    def omp_single(self, nowait: bool = False) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.OmpSingle(body=body, nowait=nowait))
+
+    @contextlib.contextmanager
+    def omp_master(self) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.OmpMaster(body=body))
+
+    @contextlib.contextmanager
+    def omp_critical(self, name: str = "") -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.OmpCritical(body=body, name=name))
+
+    @contextlib.contextmanager
+    def omp_task(self) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        self.add(A.OmpTask(body=body))
+
+    def omp_barrier(self) -> None:
+        self.add(A.OmpBarrier())
+
+    @contextlib.contextmanager
+    def omp_for(self, name: str, stop: ExprLike, start: ExprLike = 0,
+                step: int = 1, nowait: bool = False) -> Iterator[None]:
+        with self._block() as body:
+            yield
+        loop = _make_for(name, start, stop, step, body)
+        self.add(A.OmpFor(loop=loop, nowait=nowait))
+
+    @contextlib.contextmanager
+    def omp_sections(self, count: int, nowait: bool = False) -> Iterator[List[A.Block]]:
+        """Yield ``count`` empty section blocks; fill them via nested builders
+        or by appending statements directly to each block's ``stmts``."""
+        sections = [A.Block() for _ in range(count)]
+        yield sections
+        self.add(A.OmpSections(sections=sections, nowait=nowait))
+
+    # -- finish ----------------------------------------------------------------
+
+    def build(self) -> A.FuncDef:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed block in FuncBuilder")
+        return A.FuncDef(
+            ret_type=self.ret_type, name=self.name, params=self.params,
+            body=A.Block(stmts=self._stack[0]),
+        )
+
+
+class _ElseSwitch:
+    """Helper for ``if_else``: call ``.otherwise()`` to switch to the else arm."""
+
+    def __init__(self, builder: FuncBuilder, node: A.If) -> None:
+        self._builder = builder
+        self._node = node
+        self._in_else = False
+
+    def otherwise(self) -> None:
+        if self._in_else:
+            raise RuntimeError("otherwise() called twice")
+        self._node.then_body.stmts = self._builder._stack.pop()
+        self._builder._stack.append([])
+        self._in_else = True
+
+    def _finish(self) -> None:
+        stmts = self._builder._stack.pop()
+        if self._in_else:
+            assert self._node.else_body is not None
+            self._node.else_body.stmts = stmts
+        else:
+            self._node.then_body.stmts = stmts
+            self._node.else_body = None
+
+
+def _make_for(name: str, start: ExprLike, stop: ExprLike, step: int,
+              body: A.Block) -> A.For:
+    return A.For(
+        init=A.VarDecl(type_name="int", name=name, init=_expr(start)),
+        cond=A.BinOp(op="<", left=A.VarRef(name=name), right=_expr(stop)),
+        step=A.Assign(target=A.VarRef(name=name), op="+=", value=_expr(step)),
+        body=body,
+    )
+
+
+def program(*funcs: Union[A.FuncDef, FuncBuilder], filename: str = "<built>") -> A.Program:
+    """Assemble a Program from FuncDefs and/or FuncBuilders."""
+    out: List[A.FuncDef] = []
+    for f in funcs:
+        out.append(f.build() if isinstance(f, FuncBuilder) else f)
+    return A.Program(funcs=out, filename=filename)

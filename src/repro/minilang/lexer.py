@@ -1,0 +1,196 @@
+"""Hand-written lexer for the minilang hybrid language.
+
+Newlines are normally whitespace, except inside a ``#pragma`` directive where
+the newline terminates the directive (C semantics), so the lexer emits a
+``NEWLINE`` token while in pragma mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    SINGLE_CHAR_OPS,
+    LexError,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Converts source text into a token stream.
+
+    Parameters
+    ----------
+    source:
+        The program text.
+    filename:
+        Used only in error messages.
+    """
+
+    def __init__(self, source: str, filename: str = "<string>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self._in_pragma = False
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    # -- token producers ----------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> List[Token]:
+        """Advance over blanks and comments; may emit a NEWLINE in pragma mode."""
+        emitted: List[Token] = []
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\n":
+                if self._in_pragma:
+                    emitted.append(Token(TokenType.NEWLINE, "\n", self.line, self.col))
+                    self._in_pragma = False
+                self._advance()
+            elif ch in " \t\r":
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                # Line continuation (used in long pragmas).
+                self._advance(2)
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                break
+        return emitted
+
+    def _lex_number(self) -> Token:
+        start_line, start_col = self.line, self.col
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.source) and (
+            self._peek().isdigit() or (self._peek() == "." and not seen_dot)
+        ):
+            if self._peek() == ".":
+                # A dot must be followed by a digit to count as a float part.
+                if not self._peek(1).isdigit():
+                    break
+                seen_dot = True
+            self._advance()
+        # Exponent part: 1e5, 2.5e-3
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            seen_dot = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        ttype = TokenType.FLOAT if seen_dot else TokenType.INT
+        return Token(ttype, text, start_line, start_col)
+
+    def _lex_ident(self) -> Token:
+        start_line, start_col = self.line, self.col
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        ttype = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(ttype, text, start_line, start_col)
+
+    def _lex_string(self) -> Token:
+        start_line, start_col = self.line, self.col
+        quote = self._peek()
+        self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", start_line, start_col)
+            if ch == "\n":
+                raise LexError("newline in string literal", self.line, self.col)
+            if ch == "\\":
+                nxt = self._peek(1)
+                escapes = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+                if nxt in escapes:
+                    chars.append(escapes[nxt])
+                    self._advance(2)
+                    continue
+                raise LexError(f"unknown escape \\{nxt}", self.line, self.col)
+            if ch == quote:
+                self._advance()
+                break
+            chars.append(ch)
+            self._advance()
+        return Token(TokenType.STRING, "".join(chars), start_line, start_col)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) EOF."""
+        while True:
+            for tok in self._skip_whitespace_and_comments():
+                yield tok
+            if self.pos >= len(self.source):
+                if self._in_pragma:
+                    # Pragma at end of file without trailing newline.
+                    yield Token(TokenType.NEWLINE, "", self.line, self.col)
+                    self._in_pragma = False
+                yield Token(TokenType.EOF, "", self.line, self.col)
+                return
+            ch = self._peek()
+            if ch.isdigit():
+                yield self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_ident()
+            elif ch in "\"'":
+                yield self._lex_string()
+            elif ch == "#":
+                self._in_pragma = True
+                yield Token(TokenType.HASH, "#", self.line, self.col)
+                self._advance()
+            else:
+                for text, ttype in MULTI_CHAR_OPS:
+                    if self.source.startswith(text, self.pos):
+                        tok = Token(ttype, text, self.line, self.col)
+                        self._advance(len(text))
+                        yield tok
+                        break
+                else:
+                    if ch in SINGLE_CHAR_OPS:
+                        yield Token(SINGLE_CHAR_OPS[ch], ch, self.line, self.col)
+                        self._advance()
+                    else:
+                        raise LexError(f"unexpected character {ch!r}", self.line, self.col)
+
+
+def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+    """Tokenize ``source`` fully, returning the token list (ending with EOF)."""
+    return list(Lexer(source, filename).tokens())

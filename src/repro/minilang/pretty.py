@@ -1,0 +1,224 @@
+"""Source emitter for minilang ASTs.
+
+``pretty(parse(src))`` re-parses to a structurally identical AST (property
+tested); the instrumentation pass uses this emitter as its "code generation"
+back end, the same role GCC's assembly emission plays in the paper's
+compile-time overhead measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as A
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+_UNARY_PREC = 7
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"')
+        .replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+    )
+
+
+def emit_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Emit an expression, parenthesising only when precedence requires it."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+    if isinstance(expr, A.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, A.StringLit):
+        return f'"{_escape(expr.value)}"'
+    if isinstance(expr, A.VarRef):
+        return expr.name
+    if isinstance(expr, A.ArrayRef):
+        return f"{expr.name}[{emit_expr(expr.index)}]"
+    if isinstance(expr, A.Call):
+        args = ", ".join(emit_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, A.UnaryOp):
+        inner = emit_expr(expr.operand, _UNARY_PREC)
+        if expr.op == "-" and inner.startswith("-"):
+            inner = f"({inner})"  # avoid "--x" lexing as decrement
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PREC else text
+    if isinstance(expr, A.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = emit_expr(expr.left, prec)
+        # Right operand of a left-associative operator needs parens at equal
+        # precedence: a - (b - c).
+        right = emit_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+class _Emitter:
+    def __init__(self, indent: str = "    ") -> None:
+        self.lines: List[str] = []
+        self.indent_str = indent
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append(self.indent_str * self.depth + text)
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, node: A.Stmt) -> None:
+        if isinstance(node, A.Block):
+            self.block(node)
+        elif isinstance(node, A.VarDecl):
+            text = f"{node.type_name} {node.name}"
+            if node.array_size is not None:
+                text += f"[{emit_expr(node.array_size)}]"
+            if node.init is not None:
+                text += f" = {emit_expr(node.init)}"
+            self.line(text + ";")
+        elif isinstance(node, A.Assign):
+            self.line(f"{emit_expr(node.target)} {node.op} {emit_expr(node.value)};")
+        elif isinstance(node, A.ExprStmt):
+            self.line(f"{emit_expr(node.expr)};")
+        elif isinstance(node, A.If):
+            self.line(f"if ({emit_expr(node.cond)})")
+            self.block(node.then_body)
+            if node.else_body is not None:
+                self.line("else")
+                self.block(node.else_body)
+        elif isinstance(node, A.While):
+            self.line(f"while ({emit_expr(node.cond)})")
+            self.block(node.body)
+        elif isinstance(node, A.For):
+            self.line(f"for ({self._for_header(node)})")
+            self.block(node.body)
+        elif isinstance(node, A.Return):
+            if node.value is None:
+                self.line("return;")
+            else:
+                self.line(f"return {emit_expr(node.value)};")
+        elif isinstance(node, A.Break):
+            self.line("break;")
+        elif isinstance(node, A.Continue):
+            self.line("continue;")
+        elif isinstance(node, A.OmpStmt):
+            self.omp(node)
+        else:
+            raise TypeError(f"unknown statement node {type(node).__name__}")
+
+    def _for_header(self, node: A.For) -> str:
+        parts = []
+        if node.init is None:
+            parts.append("")
+        elif isinstance(node.init, A.VarDecl):
+            text = f"{node.init.type_name} {node.init.name}"
+            if node.init.init is not None:
+                text += f" = {emit_expr(node.init.init)}"
+            parts.append(text)
+        elif isinstance(node.init, A.Assign):
+            parts.append(f"{emit_expr(node.init.target)} {node.init.op} {emit_expr(node.init.value)}")
+        else:
+            parts.append(emit_expr(node.init.expr))  # type: ignore[union-attr]
+        parts.append(emit_expr(node.cond) if node.cond is not None else "")
+        if node.step is None:
+            parts.append("")
+        elif isinstance(node.step, A.Assign):
+            parts.append(f"{emit_expr(node.step.target)} {node.step.op} {emit_expr(node.step.value)}")
+        else:
+            parts.append(emit_expr(node.step.expr))  # type: ignore[union-attr]
+        return "; ".join(parts)
+
+    def block(self, node: A.Block) -> None:
+        self.line("{")
+        self.depth += 1
+        for stmt in node.stmts:
+            self.stmt(stmt)
+        self.depth -= 1
+        self.line("}")
+
+    # -- OpenMP ---------------------------------------------------------------
+
+    def omp(self, node: A.OmpStmt) -> None:
+        if isinstance(node, A.OmpBarrier):
+            self.line("#pragma omp barrier")
+        elif isinstance(node, A.OmpParallel):
+            clauses = ""
+            if node.num_threads is not None:
+                clauses += f" num_threads({emit_expr(node.num_threads)})"
+            if node.private:
+                clauses += f" private({', '.join(node.private)})"
+            if node.shared:
+                clauses += f" shared({', '.join(node.shared)})"
+            self.line(f"#pragma omp parallel{clauses}")
+            self.block(node.body)
+        elif isinstance(node, A.OmpSingle):
+            clauses = " nowait" if node.nowait else ""
+            self.line(f"#pragma omp single{clauses}")
+            self.block(node.body)
+        elif isinstance(node, A.OmpMaster):
+            self.line("#pragma omp master")
+            self.block(node.body)
+        elif isinstance(node, A.OmpCritical):
+            suffix = f" ({node.name})" if node.name else ""
+            self.line(f"#pragma omp critical{suffix}")
+            self.block(node.body)
+        elif isinstance(node, A.OmpTask):
+            self.line("#pragma omp task")
+            self.block(node.body)
+        elif isinstance(node, A.OmpFor):
+            clauses = f" schedule({node.schedule})" if node.schedule != "static" else ""
+            if node.nowait:
+                clauses += " nowait"
+            self.line(f"#pragma omp for{clauses}")
+            self.stmt(node.loop)
+        elif isinstance(node, A.OmpSections):
+            clauses = " nowait" if node.nowait else ""
+            self.line(f"#pragma omp sections{clauses}")
+            self.line("{")
+            self.depth += 1
+            for section in node.sections:
+                self.line("#pragma omp section")
+                self.block(section)
+            self.depth -= 1
+            self.line("}")
+        else:
+            raise TypeError(f"unknown OpenMP node {type(node).__name__}")
+
+    # -- top level --------------------------------------------------------------
+
+    def funcdef(self, node: A.FuncDef) -> None:
+        params = ", ".join(f"{p.type_name} {p.name}" for p in node.params)
+        self.line(f"{node.ret_type} {node.name}({params})")
+        self.block(node.body)
+
+    def program(self, node: A.Program) -> None:
+        for i, func in enumerate(node.funcs):
+            if i:
+                self.lines.append("")
+            self.funcdef(func)
+
+
+def pretty(node: A.Node, indent: str = "    ") -> str:
+    """Emit minilang source for a Program, FuncDef, Stmt, or Expr node."""
+    if isinstance(node, A.Expr):
+        return emit_expr(node)
+    emitter = _Emitter(indent)
+    if isinstance(node, A.Program):
+        emitter.program(node)
+    elif isinstance(node, A.FuncDef):
+        emitter.funcdef(node)
+    elif isinstance(node, A.Stmt):
+        emitter.stmt(node)
+    else:
+        raise TypeError(f"cannot pretty-print {type(node).__name__}")
+    return "\n".join(emitter.lines) + "\n"

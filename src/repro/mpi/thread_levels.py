@@ -1,0 +1,63 @@
+"""MPI-2 thread support levels and the level each parallelism word requires.
+
+The MPI standard defines four levels.  The paper's phase 1 ties the analysis
+verdict to the level:
+
+* collective with ``pw ∈ L`` and no enclosing parallel construct
+  (word has no ``P``) — any level works for the collective itself
+  (``MPI_THREAD_SINGLE`` if the program never forks threads);
+* collective in a monothreaded region *inside* a parallel construct
+  (word contains ``P`` and ends in ``S``) — requires at least
+  ``MPI_THREAD_SERIALIZED`` (``FUNNELED`` suffices only if the region is a
+  ``master`` region);
+* collective in a multithreaded region — requires ``MPI_THREAD_MULTIPLE``
+  *and* a runtime guarantee that a single thread executes it.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import total_ordering
+
+
+@total_ordering
+class ThreadLevel(enum.Enum):
+    SINGLE = 0
+    FUNNELED = 1
+    SERIALIZED = 2
+    MULTIPLE = 3
+
+    def __lt__(self, other: "ThreadLevel") -> bool:
+        if not isinstance(other, ThreadLevel):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def mpi_name(self) -> str:
+        return f"MPI_THREAD_{self.name}"
+
+
+#: Mapping from the minilang integer constant (MPI_Init_thread argument)
+#: to the level, mirroring common MPI implementations.
+LEVEL_FROM_INT = {level.value: level for level in ThreadLevel}
+
+
+def required_level(word_has_parallel: bool, monothreaded: bool,
+                   master_only: bool = False) -> ThreadLevel:
+    """Minimum thread level required for a collective in the given context.
+
+    Parameters
+    ----------
+    word_has_parallel:
+        The parallelism word contains at least one ``P`` token.
+    monothreaded:
+        The word is in the language ``L`` (single thread executes the node).
+    master_only:
+        The innermost single-threaded region is a ``master`` region (the
+        executing thread is always the master thread).
+    """
+    if not word_has_parallel:
+        return ThreadLevel.SINGLE
+    if monothreaded:
+        return ThreadLevel.FUNNELED if master_only else ThreadLevel.SERIALIZED
+    return ThreadLevel.MULTIPLE

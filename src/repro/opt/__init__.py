@@ -1,0 +1,79 @@
+"""Baseline middle end: constant folding, dataflow analyses, TAC lowering.
+
+``run_middle_end`` is what the compile pipeline's *base* mode executes —
+the work a real compiler does with or without PARCOACH, against which the
+verification overhead of Figure 1 is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..cfg import build_program_cfgs, dominators, natural_loops, post_dominators
+from ..minilang import ast_nodes as A
+from .availexpr import AvailableExpressions, available_expressions, expr_key
+from .constfold import fold_expr, fold_program
+from .liveness import LivenessResult, liveness, stmt_use_def
+from .tac import Instr, TacFunction, lower_function, lower_program
+
+
+@dataclass
+class MiddleEndResult:
+    program: A.Program  # the folded program
+    #: CFGs of the *original* program (PARCOACH reuses these, like it reuses
+    #: GCC's CFG — the verification pass does not rebuild them).
+    cfgs: Dict[str, tuple] = field(default_factory=dict)
+    tac: List[TacFunction] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def run_middle_end(program: A.Program) -> MiddleEndResult:
+    """Build CFGs + dataflow on the original AST, fold, lower to TAC."""
+    cfgs = build_program_cfgs(program)
+    folded = fold_program(program)
+    blocks = 0
+    dead_stores = 0
+    redundant = 0
+    loops = 0
+    for name, (cfg, _) in cfgs.items():
+        blocks += len(cfg)
+        dominators(cfg)
+        post_dominators(cfg)
+        loops += len(natural_loops(cfg))
+        live = liveness(cfg)
+        dead_stores += len(live.dead_stores(cfg))
+        avail = available_expressions(cfg)
+        redundant += len(avail.redundant)
+    tac = lower_program(folded)
+    return MiddleEndResult(
+        program=folded,
+        cfgs=cfgs,
+        tac=tac,
+        stats={
+            "functions": len(folded.funcs),
+            "blocks": blocks,
+            "loops": loops,
+            "dead_stores": dead_stores,
+            "redundant_exprs": redundant,
+            "tac_instrs": sum(f.size for f in tac),
+        },
+    )
+
+
+__all__ = [
+    "AvailableExpressions",
+    "available_expressions",
+    "expr_key",
+    "fold_expr",
+    "fold_program",
+    "LivenessResult",
+    "liveness",
+    "stmt_use_def",
+    "Instr",
+    "TacFunction",
+    "lower_function",
+    "lower_program",
+    "MiddleEndResult",
+    "run_middle_end",
+]

@@ -1,0 +1,175 @@
+"""Available-expressions forward dataflow (redundancy analysis).
+
+Second classic middle-end pass of the baseline pipeline: computes, per
+block, which pure binary expressions are available on entry, and reports
+locally redundant recomputations.  Expressions are keyed by a canonical
+string; any expression containing a call is impure and never available;
+a definition of a variable kills every expression mentioning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg import CFG
+from ..minilang import ast_nodes as A
+from .liveness import stmt_use_def
+
+
+def expr_key(expr: A.Expr) -> Optional[str]:
+    """Canonical key for a pure expression; None when impure/trivial."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, A.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, A.VarRef):
+        return expr.name
+    if isinstance(expr, A.ArrayRef):
+        inner = expr_key(expr.index)
+        return None if inner is None else f"{expr.name}[{inner}]"
+    if isinstance(expr, A.UnaryOp):
+        inner = expr_key(expr.operand)
+        return None if inner is None else f"({expr.op}{inner})"
+    if isinstance(expr, A.BinOp):
+        left, right = expr_key(expr.left), expr_key(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op in ("+", "*", "==", "!=") and right < left:
+            left, right = right, left  # commutative canonicalization
+        return f"({left}{expr.op}{right})"
+    return None  # calls, strings
+
+
+def _vars_of_key(expr: A.Expr, out: Set[str]) -> None:
+    if isinstance(expr, A.VarRef):
+        out.add(expr.name)
+    elif isinstance(expr, A.ArrayRef):
+        out.add(expr.name)
+        _vars_of_key(expr.index, out)
+    elif isinstance(expr, A.BinOp):
+        _vars_of_key(expr.left, out)
+        _vars_of_key(expr.right, out)
+    elif isinstance(expr, A.UnaryOp):
+        _vars_of_key(expr.operand, out)
+
+
+def _interesting_exprs(stmt: A.Stmt) -> List[A.Expr]:
+    """Non-trivial pure subexpressions computed by a simple statement."""
+    roots: List[A.Expr] = []
+    if isinstance(stmt, A.VarDecl) and stmt.init is not None:
+        roots.append(stmt.init)
+    elif isinstance(stmt, A.Assign):
+        roots.append(stmt.value)
+    elif isinstance(stmt, A.ExprStmt):
+        roots.append(stmt.expr)
+    elif isinstance(stmt, A.Return) and stmt.value is not None:
+        roots.append(stmt.value)
+    out: List[A.Expr] = []
+    stack = list(roots)
+    while stack:
+        e = stack.pop()
+        if isinstance(e, A.BinOp):
+            out.append(e)
+            stack.extend((e.left, e.right))
+        elif isinstance(e, A.UnaryOp):
+            stack.append(e.operand)
+        elif isinstance(e, A.Call):
+            stack.extend(e.args)
+        elif isinstance(e, A.ArrayRef):
+            stack.append(e.index)
+    return out
+
+
+@dataclass
+class AvailableExpressions:
+    avail_in: Dict[int, Set[str]] = field(default_factory=dict)
+    avail_out: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (block id, expression key) recomputed while already available.
+    redundant: List[Tuple[int, str]] = field(default_factory=list)
+    iterations: int = 0
+
+
+def available_expressions(cfg: CFG) -> AvailableExpressions:
+    result = AvailableExpressions()
+
+    # Per-block gen/kill over canonical keys.
+    gen: Dict[int, Set[str]] = {}
+    kill_vars: Dict[int, Set[str]] = {}
+    universe: Set[str] = set()
+    for bid, block in cfg.blocks.items():
+        g: Set[str] = set()
+        kv: Set[str] = set()
+        for stmt in block.stmts:
+            for expr in _interesting_exprs(stmt):
+                key = expr_key(expr)
+                if key is not None:
+                    vars_used: Set[str] = set()
+                    _vars_of_key(expr, vars_used)
+                    if not (vars_used & kv):
+                        g.add(key)
+                        universe.add(key)
+            _, defs = stmt_use_def(stmt)
+            kv |= defs
+            g = {k for k in g if not _key_mentions(k, defs)}
+        gen[bid] = g
+        kill_vars[bid] = kv
+
+    for bid in cfg.blocks:
+        result.avail_in[bid] = set() if bid == cfg.entry_id else set(universe)
+        result.avail_out[bid] = set(universe)
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        result.iterations += 1
+        for bid in order:
+            preds = cfg.predecessors(bid)
+            if bid == cfg.entry_id or not preds:
+                new_in: Set[str] = set()
+            else:
+                new_in = set(universe)
+                for p in preds:
+                    new_in &= result.avail_out[p]
+            survived = {k for k in new_in if not _key_mentions(k, kill_vars[bid])}
+            new_out = survived | gen[bid]
+            if new_in != result.avail_in[bid] or new_out != result.avail_out[bid]:
+                result.avail_in[bid] = new_in
+                result.avail_out[bid] = new_out
+                changed = True
+
+    # Local redundancy report: expressions generated while already available.
+    for bid, block in cfg.blocks.items():
+        avail = set(result.avail_in[bid])
+        killed: Set[str] = set()
+        for stmt in block.stmts:
+            for expr in _interesting_exprs(stmt):
+                key = expr_key(expr)
+                if key is not None and key in avail:
+                    result.redundant.append((bid, key))
+            for expr in _interesting_exprs(stmt):
+                key = expr_key(expr)
+                if key is not None and key not in killed:
+                    avail.add(key)
+            _, defs = stmt_use_def(stmt)
+            killed |= defs
+            avail = {k for k in avail if not _key_mentions(k, defs)}
+    return result
+
+
+def _key_mentions(key: str, names: Set[str]) -> bool:
+    """Whether canonical key ``key`` mentions any of ``names`` (token scan)."""
+    if not names:
+        return False
+    token = []
+    for ch in key:
+        if ch.isalnum() or ch == "_":
+            token.append(ch)
+        else:
+            if token and "".join(token) in names:
+                return True
+            token = []
+    return bool(token) and "".join(token) in names

@@ -1,0 +1,138 @@
+"""Backward live-variable dataflow on the CFG.
+
+Classic compiler analysis, part of the baseline middle end: per-block
+``use``/``def`` sets, then the fixpoint
+
+    live_out(b) = ∪ live_in(s) over successors s
+    live_in(b)  = use(b) ∪ (live_out(b) − def(b))
+
+Results feed the dead-store report and keep the baseline compile honest for
+Figure 1's overhead measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..cfg import CFG
+from ..minilang import ast_nodes as A
+
+
+def expr_uses(expr: A.Expr, out: Set[str]) -> None:
+    """Variable names read by ``expr``."""
+    if isinstance(expr, A.VarRef):
+        out.add(expr.name)
+    elif isinstance(expr, A.ArrayRef):
+        out.add(expr.name)
+        expr_uses(expr.index, out)
+    elif isinstance(expr, A.BinOp):
+        expr_uses(expr.left, out)
+        expr_uses(expr.right, out)
+    elif isinstance(expr, A.UnaryOp):
+        expr_uses(expr.operand, out)
+    elif isinstance(expr, A.Call):
+        for arg in expr.args:
+            expr_uses(arg, out)
+
+
+def stmt_use_def(stmt: A.Stmt) -> Tuple[Set[str], Set[str]]:
+    """(uses, defs) of a simple statement."""
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    if isinstance(stmt, A.VarDecl):
+        if stmt.init is not None:
+            expr_uses(stmt.init, uses)
+        if stmt.array_size is not None:
+            expr_uses(stmt.array_size, uses)
+        defs.add(stmt.name)
+    elif isinstance(stmt, A.Assign):
+        expr_uses(stmt.value, uses)
+        if isinstance(stmt.target, A.VarRef):
+            if stmt.op != "=":
+                uses.add(stmt.target.name)
+            defs.add(stmt.target.name)
+        elif isinstance(stmt.target, A.ArrayRef):
+            # Array element stores read the index and (conservatively) the
+            # array itself; the array stays live.
+            uses.add(stmt.target.name)
+            expr_uses(stmt.target.index, uses)
+            defs.add(stmt.target.name)
+    elif isinstance(stmt, A.ExprStmt):
+        expr_uses(stmt.expr, uses)
+        # MPI output buffers are written through their name: conservatively
+        # treat the first lvalue-style argument as also defined.
+        if isinstance(stmt.expr, A.Call):
+            for arg in stmt.expr.args:
+                if isinstance(arg, A.VarRef):
+                    defs.add(arg.name)
+    elif isinstance(stmt, A.Return):
+        if stmt.value is not None:
+            expr_uses(stmt.value, uses)
+    return uses, defs
+
+
+@dataclass
+class LivenessResult:
+    live_in: Dict[int, Set[str]] = field(default_factory=dict)
+    live_out: Dict[int, Set[str]] = field(default_factory=dict)
+    use: Dict[int, Set[str]] = field(default_factory=dict)
+    defs: Dict[int, Set[str]] = field(default_factory=dict)
+    iterations: int = 0
+
+    def dead_stores(self, cfg: CFG) -> List[Tuple[int, str]]:
+        """(block id, variable) pairs where the block defines a variable that
+        is not live out and not used later in the same block — a heuristic
+        dead-store report (arrays excluded by use/def conservatism)."""
+        dead: List[Tuple[int, str]] = []
+        for bid, block in cfg.blocks.items():
+            live = set(self.live_out.get(bid, set()))
+            for stmt in reversed(block.stmts):
+                uses, defs = stmt_use_def(stmt)
+                for d in defs:
+                    if d not in live and isinstance(stmt, (A.Assign, A.VarDecl)):
+                        dead.append((bid, d))
+                live -= defs
+                live |= uses
+        return dead
+
+
+def liveness(cfg: CFG) -> LivenessResult:
+    result = LivenessResult()
+    # Per-block use/def from the statement lists (branch conditions too).
+    for bid, block in cfg.blocks.items():
+        use: Set[str] = set()
+        defs: Set[str] = set()
+        for stmt in block.stmts:
+            s_use, s_def = stmt_use_def(stmt)
+            use |= s_use - defs
+            defs |= s_def
+        if block.cond is not None:
+            cond_use: Set[str] = set()
+            expr_uses(block.cond, cond_use)
+            use |= cond_use - defs
+        if block.pragma is not None and isinstance(block.pragma, A.OmpParallel):
+            if block.pragma.num_threads is not None:
+                nt_use: Set[str] = set()
+                expr_uses(block.pragma.num_threads, nt_use)
+                use |= nt_use - defs
+        result.use[bid] = use
+        result.defs[bid] = defs
+        result.live_in[bid] = set()
+        result.live_out[bid] = set()
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        result.iterations += 1
+        for bid in reversed(order):
+            out: Set[str] = set()
+            for succ in cfg.successors(bid):
+                out |= result.live_in.get(succ, set())
+            new_in = result.use[bid] | (out - result.defs[bid])
+            if out != result.live_out[bid] or new_in != result.live_in[bid]:
+                result.live_out[bid] = out
+                result.live_in[bid] = new_in
+                changed = True
+    return result

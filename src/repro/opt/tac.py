@@ -1,0 +1,252 @@
+"""Lowering to three-address code (the pipeline's GIMPLE analogue).
+
+The baseline compile lowers every function to a linear instruction stream —
+temporaries for subexpressions, explicit labels and conditional jumps,
+marker instructions for OpenMP region boundaries.  Nothing downstream
+consumes the TAC yet (the analyses run on the CFG); its role is the same as
+GCC's gimplification in the paper's measurement: work the compiler does in
+*every* mode, verification or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..minilang import ast_nodes as A
+
+Operand = Union[str, int, float, bool]
+
+
+@dataclass
+class Instr:
+    op: str
+    dst: Optional[str] = None
+    args: Tuple[Operand, ...] = ()
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.op == "label":
+            return f"{self.label}:"
+        head = f"  {self.op}"
+        if self.dst is not None:
+            head += f" {self.dst} <-"
+        if self.args:
+            head += " " + ", ".join(str(a) for a in self.args)
+        if self.label is not None:
+            head += f" -> {self.label}"
+        return head
+
+
+@dataclass
+class TacFunction:
+    name: str
+    params: List[str]
+    instrs: List[Instr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        body = "\n".join(str(i) for i in self.instrs)
+        return f"func {self.name}({', '.join(self.params)}):\n{body}\n"
+
+    @property
+    def size(self) -> int:
+        return len(self.instrs)
+
+
+class _Lowerer:
+    def __init__(self, func: A.FuncDef) -> None:
+        self.func = func
+        self.out: List[Instr] = []
+        self._temp = 0
+        self._label = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    # -- helpers ------------------------------------------------------------
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"%t{self._temp}"
+
+    def label(self, hint: str) -> str:
+        self._label += 1
+        return f".L{self._label}_{hint}"
+
+    def emit(self, op: str, dst: Optional[str] = None, args: Tuple[Operand, ...] = (),
+             label: Optional[str] = None) -> None:
+        self.out.append(Instr(op=op, dst=dst, args=args, label=label))
+
+    def place(self, label: str) -> None:
+        self.out.append(Instr(op="label", label=label))
+
+    # -- expressions -------------------------------------------------------------
+
+    def lower_expr(self, expr: A.Expr) -> Operand:
+        if isinstance(expr, (A.IntLit, A.FloatLit, A.BoolLit)):
+            return expr.value
+        if isinstance(expr, A.StringLit):
+            return f"${expr.value!r}"
+        if isinstance(expr, A.VarRef):
+            return expr.name
+        if isinstance(expr, A.ArrayRef):
+            idx = self.lower_expr(expr.index)
+            dst = self.temp()
+            self.emit("load", dst, (expr.name, idx))
+            return dst
+        if isinstance(expr, A.UnaryOp):
+            val = self.lower_expr(expr.operand)
+            dst = self.temp()
+            self.emit("neg" if expr.op == "-" else "not", dst, (val,))
+            return dst
+        if isinstance(expr, A.BinOp):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            dst = self.temp()
+            self.emit(f"bin{expr.op}", dst, (left, right))
+            return dst
+        if isinstance(expr, A.Call):
+            args = tuple(self.lower_expr(a) for a in expr.args)
+            dst = self.temp()
+            self.emit("call", dst, (expr.name,) + args)
+            return dst
+        raise TypeError(f"cannot lower {type(expr).__name__}")
+
+    # -- statements -----------------------------------------------------------------
+
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDecl):
+            if stmt.array_size is not None:
+                size = self.lower_expr(stmt.array_size)
+                self.emit("alloca", stmt.name, (size,))
+            value: Operand = 0
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+            self.emit("copy", stmt.name, (value,))
+        elif isinstance(stmt, A.Assign):
+            value = self.lower_expr(stmt.value)
+            if isinstance(stmt.target, A.VarRef):
+                if stmt.op == "=":
+                    self.emit("copy", stmt.target.name, (value,))
+                else:
+                    self.emit(f"bin{stmt.op[0]}", stmt.target.name,
+                              (stmt.target.name, value))
+            else:
+                assert isinstance(stmt.target, A.ArrayRef)
+                idx = self.lower_expr(stmt.target.index)
+                if stmt.op == "=":
+                    self.emit("store", None, (stmt.target.name, idx, value))
+                else:
+                    tmp = self.temp()
+                    self.emit("load", tmp, (stmt.target.name, idx))
+                    tmp2 = self.temp()
+                    self.emit(f"bin{stmt.op[0]}", tmp2, (tmp, value))
+                    self.emit("store", None, (stmt.target.name, idx, tmp2))
+        elif isinstance(stmt, A.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                self.lower_stmt(s)
+        elif isinstance(stmt, A.If):
+            cond = self.lower_expr(stmt.cond)
+            l_else = self.label("else")
+            l_end = self.label("endif")
+            self.emit("cjump_false", None, (cond,), label=l_else)
+            self.lower_stmt(stmt.then_body)
+            self.emit("jump", None, (), label=l_end)
+            self.place(l_else)
+            if stmt.else_body is not None:
+                self.lower_stmt(stmt.else_body)
+            self.place(l_end)
+        elif isinstance(stmt, A.While):
+            l_head = self.label("while")
+            l_end = self.label("endwhile")
+            self.place(l_head)
+            cond = self.lower_expr(stmt.cond)
+            self.emit("cjump_false", None, (cond,), label=l_end)
+            self._loop_stack.append((l_head, l_end))
+            self.lower_stmt(stmt.body)
+            self._loop_stack.pop()
+            self.emit("jump", None, (), label=l_head)
+            self.place(l_end)
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self.lower_stmt(stmt.init)
+            l_head = self.label("for")
+            l_step = self.label("step")
+            l_end = self.label("endfor")
+            self.place(l_head)
+            if stmt.cond is not None:
+                cond = self.lower_expr(stmt.cond)
+                self.emit("cjump_false", None, (cond,), label=l_end)
+            self._loop_stack.append((l_step, l_end))
+            self.lower_stmt(stmt.body)
+            self._loop_stack.pop()
+            self.place(l_step)
+            if stmt.step is not None:
+                self.lower_stmt(stmt.step)
+            self.emit("jump", None, (), label=l_head)
+            self.place(l_end)
+        elif isinstance(stmt, A.Return):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            self.emit("ret", None, (value,) if value is not None else ())
+        elif isinstance(stmt, A.Break):
+            if self._loop_stack:
+                self.emit("jump", None, (), label=self._loop_stack[-1][1])
+        elif isinstance(stmt, A.Continue):
+            if self._loop_stack:
+                self.emit("jump", None, (), label=self._loop_stack[-1][0])
+        elif isinstance(stmt, A.OmpBarrier):
+            self.emit("omp_barrier")
+        elif isinstance(stmt, A.OmpParallel):
+            nt: Tuple[Operand, ...] = ()
+            if stmt.num_threads is not None:
+                nt = (self.lower_expr(stmt.num_threads),)
+            self.emit("omp_parallel_begin", None, nt)
+            self.lower_stmt(stmt.body)
+            self.emit("omp_parallel_end")
+        elif isinstance(stmt, A.OmpSingle):
+            self.emit("omp_single_begin", None, (int(stmt.nowait),))
+            self.lower_stmt(stmt.body)
+            self.emit("omp_single_end")
+        elif isinstance(stmt, A.OmpMaster):
+            self.emit("omp_master_begin")
+            self.lower_stmt(stmt.body)
+            self.emit("omp_master_end")
+        elif isinstance(stmt, A.OmpCritical):
+            self.emit("omp_critical_begin", None, (stmt.name,))
+            self.lower_stmt(stmt.body)
+            self.emit("omp_critical_end")
+        elif isinstance(stmt, A.OmpTask):
+            self.emit("omp_task_begin")
+            self.lower_stmt(stmt.body)
+            self.emit("omp_task_end")
+        elif isinstance(stmt, A.OmpFor):
+            self.emit("omp_for_begin", None, (int(stmt.nowait), stmt.schedule))
+            self.lower_stmt(stmt.loop)
+            self.emit("omp_for_end")
+        elif isinstance(stmt, A.OmpSections):
+            self.emit("omp_sections_begin", None, (int(stmt.nowait),))
+            for section in stmt.sections:
+                self.emit("omp_section_begin")
+                self.lower_stmt(section)
+                self.emit("omp_section_end")
+            self.emit("omp_sections_end")
+        else:
+            raise TypeError(f"cannot lower {type(stmt).__name__}")
+
+    def lower(self) -> TacFunction:
+        for stmt in self.func.body.stmts:
+            self.lower_stmt(stmt)
+        self.emit("ret")
+        return TacFunction(
+            name=self.func.name,
+            params=[p.name for p in self.func.params],
+            instrs=self.out,
+        )
+
+
+def lower_function(func: A.FuncDef) -> TacFunction:
+    return _Lowerer(func).lower()
+
+
+def lower_program(program: A.Program) -> List[TacFunction]:
+    return [lower_function(f) for f in program.funcs]

@@ -1,0 +1,6 @@
+"""Tree-walking interpreter for minilang programs."""
+
+from .env import Cell, Env, InterpError
+from .interpreter import ExecCtx, Interpreter
+
+__all__ = ["Cell", "Env", "InterpError", "ExecCtx", "Interpreter"]

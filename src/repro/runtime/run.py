@@ -1,0 +1,53 @@
+"""High-level execution façade: run a minilang program under the simulator.
+
+``run_program`` is what the examples, tests and benchmarks use: it wires an
+:class:`MpiWorld`, one interpreter per rank, and the check state (fed with
+the analysis' check-group kinds when an instrumented program is run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..minilang import ast_nodes as A
+from ..mpi.thread_levels import ThreadLevel
+from .checks import CheckState
+from .interp.interpreter import Interpreter
+from .simmpi.world import MpiWorld, RunResult
+
+
+def run_program(
+    program: A.Program,
+    nprocs: int = 2,
+    num_threads: int = 2,
+    thread_level: ThreadLevel = ThreadLevel.MULTIPLE,
+    group_kinds: Optional[Dict[int, str]] = None,
+    entry: str = "main",
+    timeout: float = 10.0,
+) -> RunResult:
+    """Execute ``program`` on ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    program:
+        Original or instrumented AST.
+    num_threads:
+        Default OpenMP team size (``num_threads`` clauses override it).
+    thread_level:
+        Maximum thread support the simulated MPI grants
+        (``MPI_Init_thread`` requests are capped at this).
+    group_kinds:
+        ``ProgramAnalysis.group_kinds`` when running instrumented code —
+        selects the error type the ENTER counters raise.
+    timeout:
+        Seconds before a blocked collective/barrier is declared deadlocked.
+    """
+    world = MpiWorld(nprocs, thread_level=thread_level, timeout=timeout)
+
+    def target(proc):
+        checks = CheckState(proc, group_kinds)
+        interp = Interpreter(program, proc, check_state=checks,
+                             num_threads=num_threads)
+        return interp.run(entry)
+
+    return world.run(target)

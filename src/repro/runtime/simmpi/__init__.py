@@ -1,0 +1,8 @@
+"""simmpi — the in-process MPI simulator substrate."""
+
+from .engine import CollectiveEngine
+from .mailbox import Mailbox
+from .process import MpiProcess
+from .world import MpiWorld, RunResult
+
+__all__ = ["CollectiveEngine", "Mailbox", "MpiProcess", "MpiWorld", "RunResult"]

@@ -1,0 +1,47 @@
+"""Point-to-point message store (one per communicator).
+
+Send is buffered (never blocks); Recv blocks until a matching
+``(source, tag)`` message exists, polling the world's abort flag.  Wildcards:
+``source=-1`` (any source), ``tag=-1`` (any tag), mirroring
+``MPI_ANY_SOURCE``/``MPI_ANY_TAG``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+from ..errors import DeadlockError
+
+_POLL = 0.02
+
+
+class Mailbox:
+    def __init__(self, world: "MpiWorld") -> None:  # noqa: F821
+        self.world = world
+        self.cond = threading.Condition()
+        #: dest rank -> list of (source, tag, value), FIFO per (source, tag).
+        self.queues: Dict[int, List[Tuple[int, int, Any]]] = {}
+
+    def send(self, source: int, dest: int, tag: int, value: Any) -> None:
+        with self.cond:
+            self.queues.setdefault(dest, []).append((source, tag, value))
+            self.cond.notify_all()
+
+    def recv(self, dest: int, source: int, tag: int) -> Any:
+        deadline = self.world.clock() + self.world.timeout
+        with self.cond:
+            while True:
+                queue = self.queues.setdefault(dest, [])
+                for i, (src, t, value) in enumerate(queue):
+                    if (source in (-1, src)) and (tag in (-1, t)):
+                        queue.pop(i)
+                        return value
+                self.world.check_abort()
+                if self.world.clock() > deadline:
+                    self.world.abort(DeadlockError(
+                        f"deadlock: rank {dest} blocked in MPI_Recv"
+                        f"(source={source}, tag={tag}) with no matching send"
+                    ))
+                    self.world.check_abort()
+                self.cond.wait(_POLL)

@@ -1,0 +1,118 @@
+"""Data semantics of the simulated collectives.
+
+``combine(op, signature, payloads, ranks) -> {rank: value}`` implements the
+data movement of each operation; the engine calls it once per completed
+round.  Payload conventions (what each rank passes in) are documented per
+operation.  Reduction operators: ``sum``, ``prod``, ``min``, ``max``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce as _reduce
+from typing import Any, Dict, List
+
+_REDUCERS = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+
+def reduce_values(op: str, values: List[Any]) -> Any:
+    if op not in _REDUCERS:
+        raise ValueError(f"unknown reduction op {op!r}")
+    return _reduce(_REDUCERS[op], values)
+
+
+def combine(op_name: str, signature: tuple, payloads: Dict[int, Any],
+            ranks: List[int]) -> Dict[int, Any]:
+    """Per-rank results of one completed collective round."""
+    ordered = sorted(ranks)
+
+    if op_name in ("MPI_Barrier", "MPI_Finalize", "barrier"):
+        return {r: None for r in ranks}
+
+    if op_name == "MPI_Bcast":
+        root = signature[0]
+        value = payloads[root]
+        return {r: value for r in ranks}
+
+    if op_name == "MPI_Reduce":
+        root, red = signature
+        combined = reduce_values(red, [payloads[r] for r in ordered])
+        return {r: (combined if r == root else None) for r in ranks}
+
+    if op_name == "MPI_Allreduce":
+        (red,) = signature
+        combined = reduce_values(red, [payloads[r] for r in ordered])
+        return {r: combined for r in ranks}
+
+    if op_name == "MPI_Gather":
+        root = signature[0]
+        gathered = [payloads[r] for r in ordered]
+        return {r: (gathered if r == root else None) for r in ranks}
+
+    if op_name == "MPI_Scatter":
+        root = signature[0]
+        chunks = payloads[root]
+        if not isinstance(chunks, list) or len(chunks) < len(ordered):
+            raise ValueError(
+                f"MPI_Scatter root buffer must be a list of >= {len(ordered)} items"
+            )
+        return {r: chunks[i] for i, r in enumerate(ordered)}
+
+    if op_name == "MPI_Allgather":
+        gathered = [payloads[r] for r in ordered]
+        return {r: list(gathered) for r in ranks}
+
+    if op_name == "MPI_Alltoall":
+        n = len(ordered)
+        for r in ordered:
+            if not isinstance(payloads[r], list) or len(payloads[r]) < n:
+                raise ValueError(
+                    f"MPI_Alltoall buffers must be lists of >= {n} items"
+                )
+        return {
+            r: [payloads[s][i] for s in ordered]
+            for i, r in enumerate(ordered)
+        }
+
+    if op_name == "MPI_Scan":
+        (red,) = signature
+        out: Dict[int, Any] = {}
+        acc = None
+        for r in ordered:
+            acc = payloads[r] if acc is None else _REDUCERS[red](acc, payloads[r])
+            out[r] = acc
+        return out
+
+    if op_name == "MPI_Exscan":
+        (red,) = signature
+        out = {}
+        acc = None
+        for r in ordered:
+            out[r] = acc  # rank 0 receives None (undefined in MPI)
+            acc = payloads[r] if acc is None else _REDUCERS[red](acc, payloads[r])
+        return out
+
+    if op_name == "MPI_Reduce_scatter_block":
+        (red,) = signature
+        n = len(ordered)
+        for r in ordered:
+            if not isinstance(payloads[r], list) or len(payloads[r]) < n:
+                raise ValueError(
+                    f"MPI_Reduce_scatter_block buffers must be lists of >= {n} items"
+                )
+        combined = [
+            reduce_values(red, [payloads[r][i] for r in ordered])
+            for i in range(n)
+        ]
+        return {r: combined[i] for i, r in enumerate(ordered)}
+
+    if op_name == "__CC__":
+        colors = list(payloads.values())
+        result = (min(colors), max(colors), dict(payloads))
+        return {r: result for r in ranks}
+
+    raise ValueError(f"unknown collective {op_name!r}")

@@ -1,0 +1,129 @@
+"""The simulated MPI world: N ranks, one Python thread each.
+
+``MpiWorld.run(target)`` spawns one thread per rank executing
+``target(proc)``; the first :class:`ValidationError` raised anywhere aborts
+the world (all blocked waits unwind via :class:`AbortedError`) and becomes
+the run's verdict.  A rank finishing while peers wait in a collective is
+detected as a deadlock by the engines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ...mpi.thread_levels import ThreadLevel
+from ..errors import AbortedError, ValidationError
+from .engine import CollectiveEngine
+from .mailbox import Mailbox
+from .process import MpiProcess
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated MPI run."""
+
+    nprocs: int
+    error: Optional[ValidationError] = None
+    #: rank -> lines printed by the program.
+    outputs: Dict[int, List[str]] = field(default_factory=dict)
+    #: rank -> value returned by the entry function (if any).
+    returns: Dict[int, object] = field(default_factory=dict)
+    #: Counters from the inserted checks (CC calls executed, ENTER checks).
+    cc_calls: int = 0
+    enter_checks: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def verdict(self) -> str:
+        if self.error is None:
+            return "clean"
+        return type(self.error).__name__
+
+    @property
+    def detected_by(self) -> str:
+        return self.error.detected_by if self.error is not None else ""
+
+
+class MpiWorld:
+    def __init__(self, nprocs: int, thread_level: ThreadLevel = ThreadLevel.MULTIPLE,
+                 timeout: float = 20.0) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one rank")
+        self.nprocs = nprocs
+        self.thread_level = thread_level
+        self.timeout = timeout
+        self.clock = time.monotonic
+        self._abort_lock = threading.Lock()
+        self.abort_error: Optional[ValidationError] = None
+        self.aborted = threading.Event()
+        self.finished_ranks: Set[int] = set()
+        self.engine = CollectiveEngine(self, list(range(nprocs)))
+        self.mailbox = Mailbox(self)
+        self.procs = [MpiProcess(self, rank) for rank in range(nprocs)]
+
+    # -- abort protocol -----------------------------------------------------------
+
+    def abort(self, error: ValidationError) -> None:
+        """Record the first verdict and wake every blocked wait."""
+        with self._abort_lock:
+            if self.abort_error is None:
+                self.abort_error = error
+        self.aborted.set()
+        with self.engine.cond:
+            self.engine.cond.notify_all()
+        with self.mailbox.cond:
+            self.mailbox.cond.notify_all()
+
+    def check_abort(self) -> None:
+        if self.aborted.is_set():
+            raise AbortedError()
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, target: Callable[[MpiProcess], object]) -> RunResult:
+        """Run ``target(proc)`` on every rank; collect the verdict."""
+        result = RunResult(nprocs=self.nprocs)
+        start = time.perf_counter()
+
+        def runner(proc: MpiProcess) -> None:
+            try:
+                proc.main_thread = threading.current_thread()
+                result.returns[proc.rank] = target(proc)
+            except ValidationError as err:
+                if err.rank is None:
+                    err.rank = proc.rank
+                self.abort(err)
+            except AbortedError:
+                pass
+            except Exception as err:  # noqa: BLE001 - surface interpreter bugs
+                wrapped = ValidationError(f"internal error on rank {proc.rank}: {err!r}")
+                wrapped.rank = proc.rank
+                self.abort(wrapped)
+            finally:
+                self.finished_ranks.add(proc.rank)
+                self.engine.on_proc_finished(proc.rank)
+
+        threads = [
+            threading.Thread(target=runner, args=(proc,), name=f"rank-{proc.rank}",
+                             daemon=True)
+            for proc in self.procs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 3)
+
+        result.error = self.abort_error
+        result.elapsed = time.perf_counter() - start
+        for proc in self.procs:
+            result.outputs[proc.rank] = proc.output
+            result.cc_calls += proc.cc_calls
+            result.enter_checks += proc.enter_checks
+        return result

@@ -1,0 +1,5 @@
+"""simomp — fork/join teams, barriers, worksharing."""
+
+from .team import Team
+
+__all__ = ["Team"]

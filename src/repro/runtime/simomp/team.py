@@ -1,0 +1,139 @@
+"""simomp — the explicit fork/join OpenMP-like thread runtime.
+
+A :class:`Team` is one parallel region instance: the encountering thread
+becomes tid 0 (the master), ``size - 1`` workers are spawned, and
+``Team.run`` joins them (the join is the region's implicit barrier from the
+master's perspective; the interpreter emits the semantic implicit barrier
+explicitly before the join so *all* threads synchronize, as OpenMP
+requires).  Teams nest freely — a worker encountering another ``parallel``
+creates a sub-team, which is the perfectly nested model the paper assumes.
+
+All blocking primitives poll the world abort flag so one verdict anywhere
+unwinds every thread of every rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import AbortedError, DeadlockError, ValidationError
+
+_POLL = 0.02
+
+
+class Team:
+    def __init__(self, world: "MpiWorld", proc: "MpiProcess", size: int) -> None:  # noqa: F821
+        if size < 1:
+            raise ValueError("team size must be >= 1")
+        self.world = world
+        self.proc = proc
+        self.size = size
+        # Generation barrier.
+        self._bar_cond = threading.Condition()
+        self._bar_count = 0
+        self._bar_gen = 0
+        # single/sections claims: (construct_uid, encounter_index) -> tid.
+        self._claim_lock = threading.Lock()
+        self._claims: Dict[Tuple[int, int], int] = {}
+
+    # -- fork/join -------------------------------------------------------------
+
+    def run(self, body: Callable[[int], None]) -> None:
+        """Execute ``body(tid)`` on ``size`` threads (master = caller)."""
+        self.proc.enter_parallel(self.size)
+        try:
+            if self.size == 1:
+                self._run_guarded(body, 0)
+                return
+            workers = [
+                threading.Thread(
+                    target=self._run_guarded, args=(body, tid),
+                    name=f"rank{self.proc.rank}-tid{tid}", daemon=True,
+                )
+                for tid in range(1, self.size)
+            ]
+            for t in workers:
+                t.start()
+            self._run_guarded(body, 0)
+            for t in workers:
+                t.join(timeout=self.world.timeout * 2)
+            self.world.check_abort()
+        finally:
+            self.proc.exit_parallel(self.size)
+
+    def _run_guarded(self, body: Callable[[int], None], tid: int) -> None:
+        try:
+            body(tid)
+        except AbortedError:
+            if tid == 0:
+                raise
+        except ValidationError as err:
+            if err.rank is None:
+                err.rank = self.proc.rank
+            self.world.abort(err)
+            with self._bar_cond:
+                self._bar_cond.notify_all()
+            if tid == 0:
+                raise AbortedError() from err
+        except Exception as err:  # noqa: BLE001 - surface interpreter bugs
+            wrapped = ValidationError(
+                f"internal error on rank {self.proc.rank} tid {tid}: {err!r}"
+            )
+            wrapped.rank = self.proc.rank
+            self.world.abort(wrapped)
+            with self._bar_cond:
+                self._bar_cond.notify_all()
+            if tid == 0:
+                raise AbortedError() from err
+
+    # -- barrier --------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Team barrier with abort polling and hang detection."""
+        if self.size == 1:
+            self.world.check_abort()
+            return
+        deadline = self.world.clock() + self.world.timeout
+        with self._bar_cond:
+            gen = self._bar_gen
+            self._bar_count += 1
+            if self._bar_count == self.size:
+                self._bar_count = 0
+                self._bar_gen += 1
+                self._bar_cond.notify_all()
+                return
+            while self._bar_gen == gen:
+                self.world.check_abort()
+                if self.world.clock() > deadline:
+                    self.world.abort(DeadlockError(
+                        f"OpenMP barrier timed out on rank {self.proc.rank} "
+                        f"({self._bar_count}/{self.size} threads arrived) — "
+                        f"some thread never reaches the barrier"
+                    ))
+                    self.world.check_abort()
+                self._bar_cond.wait(_POLL)
+
+    # -- worksharing --------------------------------------------------------------------
+
+    def claim(self, construct_uid: int, encounter: int, tid: int) -> bool:
+        """First thread to claim ``(construct, encounter)`` wins (single)."""
+        with self._claim_lock:
+            key = (construct_uid, encounter)
+            if key in self._claims:
+                return False
+            self._claims[key] = tid
+            return True
+
+    def static_chunk(self, tid: int, count: int) -> range:
+        """Indices [0, count) assigned to ``tid`` under static scheduling
+        (contiguous blocks, remainder spread over the first threads)."""
+        base = count // self.size
+        extra = count % self.size
+        lo = tid * base + min(tid, extra)
+        size = base + (1 if tid < extra else 0)
+        return range(lo, lo + size)
+
+    def section_owner(self, index: int) -> int:
+        """Round-robin assignment of section ``index`` to a thread."""
+        return index % self.size

@@ -1,0 +1,333 @@
+"""Tests for the three analysis phases and the driver."""
+
+import pytest
+
+from repro import analyze_program, parse_program
+from repro.core import ErrorCode, analyze_sequence
+from repro.core.concurrency import words_concurrent
+from repro.cfg import build_cfg
+from repro.minilang.parser import parse_function
+from repro.mpi.thread_levels import ThreadLevel
+from repro.parallelism import parse_word
+
+
+def analysis_of(src, **kw):
+    return analyze_program(parse_program(src), **kw)
+
+
+def codes_of(src, **kw):
+    return {d.code for d in analysis_of(src, **kw).diagnostics}
+
+
+# -- phase 1: monothread ---------------------------------------------------------
+
+
+def test_collective_in_parallel_flagged():
+    codes = codes_of("""
+void main() {
+    #pragma omp parallel
+    { MPI_Barrier(); }
+}
+""")
+    assert ErrorCode.COLLECTIVE_MULTITHREADED in codes
+
+
+def test_collective_in_single_not_flagged():
+    codes = codes_of("""
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert ErrorCode.COLLECTIVE_MULTITHREADED not in codes
+
+
+def test_sipw_contains_innermost_parallel():
+    an = analysis_of("""
+void main() {
+    #pragma omp parallel
+    { MPI_Barrier(); }
+}
+""")
+    fa = an.function("main")
+    assert len(fa.monothread.sipw_uids) == 1
+    (uid,) = fa.monothread.sipw_uids
+    assert fa.word_info.construct_kinds[uid] == "parallel"
+
+
+def test_required_levels():
+    an = analysis_of("""
+void main() {
+    MPI_Barrier();
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { MPI_Barrier(); }
+        #pragma omp barrier
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    fa = an.function("main")
+    levels = sorted(fa.monothread.required_levels.values())
+    assert levels == [ThreadLevel.SINGLE, ThreadLevel.FUNNELED, ThreadLevel.SERIALIZED]
+
+
+def test_multithreaded_requires_multiple():
+    an = analysis_of("""
+void main() {
+    #pragma omp parallel
+    { MPI_Barrier(); }
+}
+""")
+    fa = an.function("main")
+    assert fa.monothread.max_required_level is ThreadLevel.MULTIPLE
+
+
+def test_thread_level_warning_against_requested():
+    codes = codes_of("""
+void main() {
+    MPI_Init_thread(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert ErrorCode.THREAD_LEVEL in codes
+
+
+def test_thread_level_ok_when_sufficient():
+    codes = codes_of("""
+void main() {
+    MPI_Init_thread(2);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert ErrorCode.THREAD_LEVEL not in codes
+
+
+# -- phase 2: concurrency -----------------------------------------------------------
+
+
+def test_words_concurrent_criterion():
+    w = words_concurrent
+    assert w(parse_word("P1 S2"), parse_word("P1 S3"))
+    assert not w(parse_word("P1 S2"), parse_word("P1 S2"))          # same region
+    assert not w(parse_word("P1 S2"), parse_word("P1 B S3"))        # barrier between
+    assert not w(parse_word("P1 S2"), parse_word("P1 S2 P4 S5"))    # prefix: sequential
+    assert not w(parse_word("P1 S2"), parse_word("P9 S3"))          # different parallels? prefix ε, P vs P — not S
+    assert w(parse_word("P1 S2 B"), parse_word("P1 S3 B"))          # equal barrier counts
+
+
+def test_concurrent_singles_nowait_flagged():
+    an = analysis_of("""
+void main() {
+    float a = 1.0; float b = 0.0; int x = 1;
+    #pragma omp parallel
+    {
+        #pragma omp single nowait
+        { MPI_Reduce(a, b, "sum", 0); }
+        #pragma omp single
+        { MPI_Bcast(x, 0); }
+    }
+}
+""")
+    assert ErrorCode.COLLECTIVE_CONCURRENT in {d.code for d in an.diagnostics}
+    fa = an.function("main")
+    assert len(fa.concurrency.concurrent_pairs) == 1
+    assert len(fa.concurrency.scc_uids) == 2
+    # both sites share one check group
+    groups = {g for gs in fa.check_groups.values() for g in gs}
+    assert len(groups) == 1
+    assert an.group_kinds[next(iter(groups))] == "concurrent"
+
+
+def test_singles_with_barrier_not_concurrent():
+    codes = codes_of("""
+void main() {
+    float a = 1.0; float b = 0.0; int x = 1;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Reduce(a, b, "sum", 0); }
+        #pragma omp single
+        { MPI_Bcast(x, 0); }
+    }
+}
+""")
+    assert ErrorCode.COLLECTIVE_CONCURRENT not in codes
+
+
+def test_sections_concurrent():
+    codes = codes_of("""
+void main() {
+    float a = 1.0; float b = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            { MPI_Barrier(); }
+            #pragma omp section
+            { MPI_Allreduce(a, b, "sum"); }
+        }
+    }
+}
+""")
+    assert ErrorCode.COLLECTIVE_CONCURRENT in codes
+
+
+def test_same_single_not_self_concurrent():
+    codes = codes_of("""
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); MPI_Barrier(); }
+    }
+}
+""")
+    assert ErrorCode.COLLECTIVE_CONCURRENT not in codes
+
+
+# -- phase 3: sequence (Algorithm 1) --------------------------------------------------
+
+
+def test_guarded_collective_warns_with_lines():
+    an = analysis_of("""
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) {
+        MPI_Barrier();
+    }
+}
+""")
+    diags = [d for d in an.diagnostics if d.code is ErrorCode.COLLECTIVE_MISMATCH]
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.collectives[0].name == "MPI_Barrier"
+    assert d.collectives[0].line == 5
+    assert 4 in d.conditionals
+
+
+def test_unconditional_sequence_verified():
+    an = analysis_of("""
+void main() {
+    MPI_Barrier();
+    float a = 1.0; float b = 0.0;
+    MPI_Allreduce(a, b, "sum");
+    MPI_Barrier();
+}
+""")
+    assert an.verified
+    assert an.instrumented_functions == []
+
+
+def test_balanced_if_paper_vs_counting_precision():
+    src = """
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { MPI_Barrier(); } else { MPI_Barrier(); }
+}
+"""
+    paper = codes_of(src, precision="paper")
+    counting = codes_of(src, precision="counting")
+    assert ErrorCode.COLLECTIVE_MISMATCH in paper
+    assert ErrorCode.COLLECTIVE_MISMATCH not in counting
+
+
+def test_counting_still_flags_unbalanced():
+    src = """
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { MPI_Barrier(); MPI_Barrier(); } else { MPI_Barrier(); }
+}
+"""
+    assert ErrorCode.COLLECTIVE_MISMATCH in codes_of(src, precision="counting")
+
+
+def test_counting_does_not_suppress_loops():
+    src = """
+void main() {
+    int n = MPI_Comm_rank() + 2;
+    for (int i = 0; i < n; i += 1) { MPI_Barrier(); }
+}
+"""
+    assert ErrorCode.COLLECTIVE_MISMATCH in codes_of(src, precision="counting")
+
+
+def test_sequence_analysis_rejects_bad_precision():
+    func = parse_function("void f() { MPI_Barrier(); }")
+    cfg, _ = build_cfg(func, set())
+    with pytest.raises(ValueError):
+        analyze_sequence("f", cfg, precision="wrong")
+
+
+def test_call_to_collective_function_is_a_point():
+    an = analysis_of("""
+void sync_all() { MPI_Barrier(); }
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { sync_all(); }
+}
+""")
+    assert "sync_all" in an.collective_funcs
+    diags = an.diagnostics.by_code(ErrorCode.COLLECTIVE_MISMATCH)
+    assert any("call:sync_all" in str(d.collectives) for d in diags)
+
+
+# -- driver / instrumentation plan ------------------------------------------------------
+
+
+def test_selective_instrumentation_plan():
+    an = analysis_of("""
+void clean() { MPI_Barrier(); }
+void main() {
+    int r = MPI_Comm_rank();
+    clean();
+    if (r == 0) { MPI_Barrier(); }
+}
+""")
+    assert "main" in an.instrumented_functions
+    # clean is reachable from flagged main and contains collectives:
+    assert "clean" in an.instrumented_functions
+
+
+def test_unreachable_collective_function_not_instrumented():
+    an = analysis_of("""
+void isolated() { MPI_Barrier(); }
+void main() {
+    MPI_Barrier();
+}
+""")
+    assert an.instrumented_functions == []
+
+
+def test_instrument_all_ablation():
+    an = analysis_of("""
+void main() { MPI_Barrier(); }
+""", instrument_all=True)
+    assert an.instrumented_functions == ["main"]
+
+
+def test_verified_program_zero_groups():
+    an = analysis_of("void main() { MPI_Barrier(); }")
+    assert an.verified
+    assert an.group_kinds == {}
+
+
+def test_initial_word_option_flags_collectives():
+    src = "void lib() { MPI_Barrier(); }"
+    an = analyze_program(parse_program(src),
+                         initial_words={"lib": parse_word("P1")})
+    assert ErrorCode.COLLECTIVE_MULTITHREADED in {d.code for d in an.diagnostics}

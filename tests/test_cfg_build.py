@@ -1,0 +1,194 @@
+"""CFG construction tests: block kinds, implicit barriers, edge structure."""
+
+from repro.cfg import BlockKind, build_cfg, to_dot
+from repro.minilang.parser import parse_function
+
+
+def cfg_of(src, user_funcs=None):
+    func = parse_function(src)
+    cfg, ast_block = build_cfg(func, user_funcs or set())
+    assert cfg.validate() == []
+    return cfg
+
+
+def kinds(cfg):
+    return [b.kind for b in cfg.blocks.values()]
+
+
+def test_straight_line_single_block():
+    cfg = cfg_of("void f() { int x = 1; x += 2; print(x); }")
+    normals = cfg.blocks_of_kind(BlockKind.NORMAL)
+    assert len(normals) == 1
+    assert len(normals[0].stmts) == 3
+
+
+def test_entry_and_exit_unique():
+    cfg = cfg_of("void f() { }")
+    assert len(cfg.blocks_of_kind(BlockKind.ENTRY)) == 1
+    assert len(cfg.blocks_of_kind(BlockKind.EXIT)) == 1
+    assert cfg.successors(cfg.exit_id) == []
+
+
+def test_collective_gets_own_block():
+    cfg = cfg_of("void f() { int x = 1; MPI_Barrier(); x = 2; }")
+    colls = cfg.collective_blocks()
+    assert len(colls) == 1
+    assert colls[0].collective == "MPI_Barrier"
+    # The surrounding simple statements are in different blocks.
+    assert all(b.id != colls[0].id for b in cfg.blocks_of_kind(BlockKind.NORMAL)
+               if b.stmts)
+
+
+def test_two_collectives_two_blocks():
+    cfg = cfg_of("void f() { MPI_Barrier(); MPI_Barrier(); }")
+    assert len(cfg.collective_blocks()) == 2
+
+
+def test_user_call_block():
+    cfg = cfg_of("void f() { helper(); }", user_funcs={"helper"})
+    calls = cfg.blocks_of_kind(BlockKind.CALL)
+    assert len(calls) == 1
+    assert calls[0].callee == "helper"
+
+
+def test_if_creates_condition_with_two_successors():
+    cfg = cfg_of("void f(int x) { if (x > 0) { x = 1; } x = 2; }")
+    (cond,) = cfg.blocks_of_kind(BlockKind.CONDITION)
+    assert len(cfg.successors(cond.id)) == 2
+
+
+def test_if_else_joins():
+    cfg = cfg_of("void f(int x) { if (x > 0) { x = 1; } else { x = 2; } print(x); }")
+    (cond,) = cfg.blocks_of_kind(BlockKind.CONDITION)
+    s1, s2 = cfg.successors(cond.id)
+    # Both branches eventually reach a common join that reaches exit.
+    assert cfg.can_reach_exit() >= {s1, s2}
+
+
+def test_while_loop_back_edge():
+    cfg = cfg_of("void f(int n) { while (n > 0) { n -= 1; } }")
+    (cond,) = cfg.blocks_of_kind(BlockKind.CONDITION)
+    # Some block loops back to the condition.
+    assert cond.id in {s for b in cfg.blocks for s in cfg.successors(b)}
+    preds = cfg.predecessors(cond.id)
+    assert len(preds) == 2  # entry path + back edge
+
+
+def test_for_loop_structure():
+    cfg = cfg_of("void f() { for (int i = 0; i < 4; i += 1) { print(i); } }")
+    (cond,) = cfg.blocks_of_kind(BlockKind.CONDITION)
+    assert len(cfg.successors(cond.id)) == 2
+
+
+def test_break_exits_loop():
+    cfg = cfg_of("void f() { while (true) { break; } print(1); }")
+    # The loop must not strand the tail: print reachable from entry.
+    reachable = cfg.reachable_from_entry()
+    tail = [b for b in cfg.blocks.values() if b.stmts and b.kind is BlockKind.NORMAL]
+    assert any(b.id in reachable for b in tail)
+
+
+def test_return_connects_to_exit():
+    cfg = cfg_of("int f(int x) { if (x > 0) { return 1; } return 0; }")
+    preds = cfg.predecessors(cfg.exit_id)
+    assert len(preds) >= 2
+
+
+def test_unreachable_code_removed():
+    cfg = cfg_of("int f() { return 1; print(2); }")
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            pass  # all remaining blocks are reachable
+    assert cfg.reachable_from_entry() | {cfg.exit_id} == set(cfg.blocks)
+
+
+def test_infinite_loop_gets_virtual_exit_edge():
+    cfg = cfg_of("void f() { for (;;) { print(1); } }")
+    assert cfg.virtual_edges  # exit made reachable
+    assert set(cfg.blocks) == cfg.can_reach_exit()
+
+
+# -- OpenMP blocks ------------------------------------------------------------
+
+
+def test_parallel_region_blocks_and_join_barrier():
+    cfg = cfg_of("void f() { \n#pragma omp parallel\n{ print(1); } }")
+    assert len(cfg.blocks_of_kind(BlockKind.OMP_PARALLEL)) == 1
+    ends = cfg.blocks_of_kind(BlockKind.OMP_END)
+    assert len(ends) == 1
+    bars = cfg.blocks_of_kind(BlockKind.OMP_BARRIER)
+    assert len(bars) == 1 and bars[0].implicit
+
+
+def test_single_nowait_has_no_implicit_barrier():
+    cfg = cfg_of("void f() { \n#pragma omp parallel\n{\n#pragma omp single nowait\n{ print(1); } } }")
+    bars = cfg.blocks_of_kind(BlockKind.OMP_BARRIER)
+    # only the parallel join barrier remains
+    assert len(bars) == 1
+
+
+def test_single_default_has_implicit_barrier():
+    cfg = cfg_of("void f() { \n#pragma omp parallel\n{\n#pragma omp single\n{ print(1); } } }")
+    bars = cfg.blocks_of_kind(BlockKind.OMP_BARRIER)
+    assert len(bars) == 2  # single end + parallel join
+
+
+def test_explicit_barrier_block():
+    cfg = cfg_of("void f() { \n#pragma omp parallel\n{\n#pragma omp barrier\n} }")
+    explicit = [b for b in cfg.blocks_of_kind(BlockKind.OMP_BARRIER) if not b.implicit]
+    assert len(explicit) == 1
+
+
+def test_omp_for_blocks():
+    src = """
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp for
+        for (int i = 0; i < 4; i += 1) { print(i); }
+    }
+}
+"""
+    cfg = cfg_of(src)
+    assert len(cfg.blocks_of_kind(BlockKind.OMP_FOR)) == 1
+    assert len(cfg.blocks_of_kind(BlockKind.OMP_BARRIER)) == 2  # for end + join
+
+
+def test_sections_chained_sequentially():
+    src = """
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            { MPI_Barrier(); }
+            #pragma omp section
+            { print(2); }
+        }
+    }
+}
+"""
+    cfg = cfg_of(src)
+    secs = cfg.blocks_of_kind(BlockKind.OMP_SECTION)
+    assert len(secs) == 2
+    # Sequential chaining: one section's region reaches the other.
+    first, second = sorted(secs, key=lambda b: b.id)
+    reach_from_first = set(cfg.reverse_postorder(first.id))
+    assert second.id in reach_from_first
+
+
+def test_ast_block_maps_collective_stmt():
+    func = parse_function("void f() { MPI_Barrier(); }")
+    cfg, ast_block = build_cfg(func, set())
+    (coll,) = cfg.collective_blocks()
+    stmt = func.body.stmts[0]
+    assert ast_block[stmt.uid] == coll.id
+
+
+def test_dot_export_contains_all_blocks():
+    cfg = cfg_of("void f(int x) { if (x > 0) { MPI_Barrier(); } }")
+    dot = to_dot(cfg)
+    for bid in cfg.blocks:
+        assert f"n{bid} " in dot or f"n{bid} ->" in dot or f"n{bid} [" in dot
+    assert dot.startswith("digraph")

@@ -1,0 +1,117 @@
+"""CLI tests (driving repro.cli.main directly)."""
+
+import pytest
+
+from repro.cli import main
+
+BUGGY = """
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { MPI_Barrier(); }
+}
+"""
+
+CLEAN = """
+void main() {
+    MPI_Barrier();
+    print("done");
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.mh"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mh"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+def test_analyze_flags_buggy(buggy_file, capsys):
+    assert main(["analyze", buggy_file]) == 1
+    out = capsys.readouterr().out
+    assert "collective-mismatch" in out
+    assert "MPI_Barrier" in out
+
+
+def test_analyze_clean_exits_zero(clean_file, capsys):
+    assert main(["analyze", clean_file]) == 0
+    assert "no warnings" in capsys.readouterr().out
+
+
+def test_analyze_counting_precision(tmp_path, capsys):
+    path = tmp_path / "balanced.mh"
+    path.write_text("""
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { MPI_Barrier(); } else { MPI_Barrier(); }
+}
+""")
+    assert main(["analyze", str(path)]) == 1
+    assert main(["analyze", str(path), "--precision", "counting"]) == 0
+
+
+def test_analyze_initial_context(clean_file):
+    # Assuming the whole file runs inside a parallel region flags everything.
+    assert main(["analyze", clean_file, "--initial-context", "P1"]) == 1
+
+
+def test_instrument_writes_output(buggy_file, tmp_path, capsys):
+    out_file = tmp_path / "out.mh"
+    assert main(["instrument", buggy_file, "-o", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "PARCOACH_CC" in text
+
+
+def test_instrument_all_inserts_more(clean_file, tmp_path):
+    sel = tmp_path / "sel.mh"
+    blanket = tmp_path / "all.mh"
+    main(["instrument", clean_file, "-o", str(sel)])
+    main(["instrument", clean_file, "--all", "-o", str(blanket)])
+    assert "PARCOACH_CC" not in sel.read_text()
+    assert "PARCOACH_CC" in blanket.read_text()
+
+
+def test_run_clean_program(clean_file, capsys):
+    assert main(["run", clean_file, "-np", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "[rank 0] done" in captured.out
+    assert "clean" in captured.err
+
+
+def test_run_buggy_instrumented_reports_cc(buggy_file, capsys):
+    rc = main(["run", buggy_file, "-np", "2", "--instrument"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "CollectiveMismatchError" in err
+    assert "CC" in err
+
+
+def test_run_buggy_raw_deadlocks(buggy_file, capsys):
+    rc = main(["run", buggy_file, "-np", "2", "--timeout", "4"])
+    assert rc == 1
+    assert "DeadlockError" in capsys.readouterr().err
+
+
+def test_cfg_dot_output(buggy_file, capsys):
+    assert main(["cfg", buggy_file, "main"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "MPI_Barrier" in out
+
+
+def test_cfg_unknown_function(buggy_file, capsys):
+    assert main(["cfg", buggy_file, "nope"]) == 2
+
+
+def test_semantic_errors_abort(tmp_path, capsys):
+    path = tmp_path / "bad.mh"
+    path.write_text("void main() { x = 1; }")
+    with pytest.raises(SystemExit):
+        main(["analyze", str(path)])

@@ -1,0 +1,176 @@
+"""Dominator/post-dominator and PDF+ tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import CFG, BlockKind, build_cfg, dominators, pdf_plus, post_dominators
+from repro.minilang.parser import parse_function
+
+
+def diamond() -> CFG:
+    """entry -> cond -> {a, b} -> join -> exit"""
+    cfg = CFG("diamond")
+    entry = cfg.new_block(BlockKind.ENTRY)
+    cond = cfg.new_block(BlockKind.CONDITION)
+    a = cfg.new_block(BlockKind.NORMAL)
+    b = cfg.new_block(BlockKind.NORMAL)
+    join = cfg.new_block(BlockKind.NORMAL)
+    exit_ = cfg.new_block(BlockKind.EXIT)
+    cfg.entry_id, cfg.exit_id = entry.id, exit_.id
+    for s, d in [(entry.id, cond.id), (cond.id, a.id), (cond.id, b.id),
+                 (a.id, join.id), (b.id, join.id), (join.id, exit_.id)]:
+        cfg.add_edge(s, d)
+    return cfg
+
+
+def test_diamond_dominators():
+    cfg = diamond()
+    dom = dominators(cfg)
+    # entry dominates everything; cond dominates a, b, join.
+    for bid in cfg.blocks:
+        assert dom.dominates(cfg.entry_id, bid)
+    assert dom.idom[4] == 1  # join's idom is the condition
+    assert dom.idom[2] == 1 and dom.idom[3] == 1
+
+
+def test_diamond_postdominators():
+    cfg = diamond()
+    pdom = post_dominators(cfg)
+    # join post-dominates cond, a, b.
+    assert pdom.dominates(4, 1)
+    assert pdom.dominates(4, 2)
+    assert not pdom.dominates(2, 1)  # a does not post-dominate cond
+
+
+def test_dominance_frontier_of_branches_is_join():
+    cfg = diamond()
+    pdf = post_dominators(cfg).dominance_frontier()
+    # In the reverse graph, the frontier of a and b is the condition node.
+    assert 1 in pdf[2]
+    assert 1 in pdf[3]
+
+
+def test_pdf_plus_flags_guarding_conditional():
+    func = parse_function("""
+void f(int r) {
+    if (r == 0) {
+        MPI_Barrier();
+    }
+}
+""")
+    cfg, _ = build_cfg(func, set())
+    (coll,) = cfg.collective_blocks()
+    result = pdf_plus(cfg, [coll.id])
+    (cond,) = cfg.blocks_of_kind(BlockKind.CONDITION)
+    assert result == {cond.id}
+
+
+def test_pdf_plus_empty_for_unconditional_collective():
+    func = parse_function("""
+void f(int r) {
+    if (r == 0) { r = 1; }
+    MPI_Barrier();
+}
+""")
+    cfg, _ = build_cfg(func, set())
+    (coll,) = cfg.collective_blocks()
+    assert pdf_plus(cfg, [coll.id]) == set()
+
+
+def test_pdf_plus_loop_header_flagged():
+    func = parse_function("""
+void f(int n) {
+    for (int i = 0; i < n; i += 1) {
+        MPI_Barrier();
+    }
+}
+""")
+    cfg, _ = build_cfg(func, set())
+    (coll,) = cfg.collective_blocks()
+    result = pdf_plus(cfg, [coll.id])
+    assert result  # the loop guard is a divergence point
+
+
+def test_dominates_is_reflexive_and_rooted():
+    cfg = diamond()
+    dom = dominators(cfg)
+    for bid in cfg.blocks:
+        assert dom.dominates(bid, bid)
+    assert dom.idom[cfg.entry_id] == cfg.entry_id
+
+
+def test_dom_tree_children_partition():
+    cfg = diamond()
+    dom = dominators(cfg)
+    kids = dom.children()
+    all_children = [c for lst in kids.values() for c in lst]
+    assert sorted(all_children) == sorted(n for n in dom.idom if n != cfg.entry_id)
+
+
+def test_caching_returns_same_tree():
+    cfg = diamond()
+    assert dominators(cfg) is dominators(cfg)
+    assert post_dominators(cfg) is post_dominators(cfg)
+
+
+# -- randomized cross-check against networkx ---------------------------------------
+
+
+@st.composite
+def random_cfg(draw):
+    n = draw(st.integers(4, 14))
+    cfg = CFG("rand")
+    blocks = [cfg.new_block(BlockKind.NORMAL) for _ in range(n)]
+    cfg.entry_id = blocks[0].id
+    cfg.exit_id = blocks[-1].id
+    blocks[-1].kind = BlockKind.EXIT
+    blocks[0].kind = BlockKind.ENTRY
+    # Spine guarantees connectivity entry -> ... -> exit.
+    for i in range(n - 1):
+        cfg.add_edge(blocks[i].id, blocks[i + 1].id)
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 2), st.integers(1, n - 1)),
+        max_size=2 * n,
+    ))
+    for s, d in extra:
+        if s != d and blocks[s].id != cfg.exit_id:
+            cfg.add_edge(blocks[s].id, blocks[d].id)
+    cfg.ensure_exit_reachable()
+    return cfg
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_idom_matches_networkx(cfg):
+    graph = nx.DiGraph(cfg.edge_list())
+    graph.add_nodes_from(cfg.blocks)
+    expected = nx.immediate_dominators(graph, cfg.entry_id)
+    dom = dominators(cfg)
+    reachable = cfg.reachable_from_entry()
+    for node in reachable:
+        # networkx >= 3.6 omits the root from its result.
+        assert dom.idom[node] == expected.get(node, node)
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_postdom_matches_networkx_on_reverse(cfg):
+    graph = nx.DiGraph((d, s) for s, d in cfg.edge_list())
+    graph.add_nodes_from(cfg.blocks)
+    expected = nx.immediate_dominators(graph, cfg.exit_id)
+    pdom = post_dominators(cfg)
+    for node in cfg.can_reach_exit():
+        assert pdom.idom[node] == expected.get(node, node)
+
+
+@given(random_cfg())
+@settings(max_examples=40, deadline=None)
+def test_frontier_matches_networkx(cfg):
+    graph = nx.DiGraph(cfg.edge_list())
+    graph.add_nodes_from(cfg.blocks)
+    expected = nx.dominance_frontiers(graph, cfg.entry_id)
+    ours = dominators(cfg).dominance_frontier()
+    for node in cfg.reachable_from_entry():
+        assert ours.get(node, set()) == expected[node]

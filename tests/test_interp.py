@@ -1,0 +1,364 @@
+"""Interpreter tests: sequential semantics, OpenMP execution, MPI wiring."""
+
+import pytest
+
+from tests.conftest import run_source
+
+
+def outputs(src, nprocs=1, num_threads=2, **kw):
+    result = run_source(src, nprocs=nprocs, num_threads=num_threads, **kw)
+    assert result.ok, result.error
+    return result
+
+
+def test_arithmetic_and_print():
+    r = outputs("""
+void main() {
+    int x = 2 + 3 * 4;
+    float y = 10.0 / 4.0;
+    print(x, y, x % 5, -x);
+}
+""")
+    assert r.outputs[0] == ["14 2.5 4 -14"]
+
+
+def test_c_style_integer_division():
+    r = outputs("void main() { print(7 / 2, -7 / 2, 7 % 3, -7 % 3); }")
+    assert r.outputs[0] == ["3 -3 1 -1"]
+
+
+def test_control_flow_loops():
+    r = outputs("""
+void main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i += 1) {
+        if (i % 2 == 0) { acc += i; } else { continue; }
+        if (acc > 5) { break; }
+    }
+    print(acc);
+}
+""")
+    assert r.outputs[0] == ["6"]
+
+
+def test_while_and_compound_assign():
+    r = outputs("""
+void main() {
+    int x = 1;
+    while (x < 100) { x *= 3; }
+    print(x);
+}
+""")
+    assert r.outputs[0] == ["243"]
+
+
+def test_arrays():
+    r = outputs("""
+void main() {
+    int a[4];
+    for (int i = 0; i < 4; i += 1) { a[i] = i * i; }
+    a[2] += 10;
+    print(a[0], a[1], a[2], a[3]);
+}
+""")
+    assert r.outputs[0] == ["0 1 14 9"]
+
+
+def test_array_out_of_bounds_reported():
+    result = run_source("void main() { int a[2]; a[5] = 1; }", nprocs=1)
+    assert result.error is not None
+    assert "out of bounds" in str(result.error)
+
+
+def test_user_function_calls_and_recursion():
+    r = outputs("""
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(10)); }
+""")
+    assert r.outputs[0] == ["55"]
+
+
+def test_builtins():
+    r = outputs("void main() { print(abs(-3), min(2, 5), max(2, 5), mod(7, 4)); }")
+    assert r.outputs[0] == ["3 2 5 3"]
+
+
+def test_division_by_zero_reported():
+    result = run_source("void main() { int x = 1 / 0; }", nprocs=1)
+    assert result.error is not None
+    assert "division by zero" in str(result.error)
+
+
+# -- OpenMP execution ---------------------------------------------------------------
+
+
+def test_parallel_region_spawns_threads():
+    r = outputs("""
+void main() {
+    int count = 0;
+    #pragma omp parallel num_threads(4)
+    {
+        #pragma omp critical
+        { count += 1; }
+    }
+    print(count);
+}
+""")
+    assert r.outputs[0] == ["4"]
+
+
+def test_omp_get_thread_num_and_num_threads():
+    r = outputs("""
+void main() {
+    int seen[4];
+    #pragma omp parallel num_threads(4)
+    {
+        int tid = omp_get_thread_num();
+        seen[tid] = omp_get_num_threads();
+    }
+    print(seen[0], seen[1], seen[2], seen[3]);
+}
+""")
+    assert r.outputs[0] == ["4 4 4 4"]
+
+
+def test_single_executes_once():
+    r = outputs("""
+void main() {
+    int count = 0;
+    #pragma omp parallel num_threads(4)
+    {
+        #pragma omp single
+        { count += 1; }
+        #pragma omp single
+        { count += 10; }
+    }
+    print(count);
+}
+""")
+    assert r.outputs[0] == ["11"]
+
+
+def test_master_only_tid0():
+    r = outputs("""
+void main() {
+    int val = -1;
+    #pragma omp parallel num_threads(3)
+    {
+        #pragma omp master
+        { val = omp_get_thread_num(); }
+    }
+    print(val);
+}
+""")
+    assert r.outputs[0] == ["0"]
+
+
+def test_omp_for_covers_all_iterations():
+    r = outputs("""
+void main() {
+    int hits[8];
+    #pragma omp parallel num_threads(3)
+    {
+        #pragma omp for
+        for (int i = 0; i < 8; i += 1) { hits[i] = hits[i] + 1; }
+    }
+    int total = 0;
+    for (int j = 0; j < 8; j += 1) { total += hits[j]; }
+    print(total);
+}
+""")
+    assert r.outputs[0] == ["8"]
+
+
+def test_parallel_for_combined_with_reduction_via_critical():
+    r = outputs("""
+void main() {
+    int acc = 0;
+    #pragma omp parallel for num_threads(4)
+    for (int i = 0; i < 10; i += 1) {
+        #pragma omp critical
+        { acc += i; }
+    }
+    print(acc);
+}
+""")
+    assert r.outputs[0] == ["45"]
+
+
+def test_sections_each_executed_once():
+    r = outputs("""
+void main() {
+    int a = 0;
+    int b = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            {
+                #pragma omp critical
+                { a += 1; }
+            }
+            #pragma omp section
+            {
+                #pragma omp critical
+                { b += 1; }
+            }
+        }
+    }
+    print(a, b);
+}
+""")
+    assert r.outputs[0] == ["1 1"]
+
+
+def test_private_clause_gives_thread_local_copies():
+    r = outputs("""
+void main() {
+    int x = 100;
+    #pragma omp parallel num_threads(4) private(x)
+    {
+        x = omp_get_thread_num();
+    }
+    print(x);
+}
+""")
+    assert r.outputs[0] == ["100"]  # shared x untouched
+
+
+def test_nested_parallel_regions_execute():
+    r = outputs("""
+void main() {
+    int count = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp parallel num_threads(2)
+        {
+            #pragma omp critical
+            { count += 1; }
+        }
+    }
+    print(count);
+}
+""")
+    assert r.outputs[0] == ["4"]
+
+
+def test_task_runs_inline():
+    r = outputs("""
+void main() {
+    int done = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task
+            { done = 1; }
+        }
+    }
+    print(done);
+}
+""")
+    assert r.outputs[0] == ["1"]
+
+
+# -- MPI from minilang ------------------------------------------------------------------
+
+
+def test_rank_size_and_bcast():
+    r = outputs("""
+void main() {
+    int rank = MPI_Comm_rank();
+    int size = MPI_Comm_size();
+    int data = 0;
+    if (rank == 0) { data = 42; }
+    MPI_Bcast(data, 0);
+    print(rank, size, data);
+}
+""", nprocs=3)
+    assert r.outputs[0] == ["0 3 42"]
+    assert r.outputs[2] == ["2 3 42"]
+
+
+def test_allreduce_and_reduce():
+    r = outputs("""
+void main() {
+    int rank = MPI_Comm_rank();
+    float mine = rank + 1.0;
+    float total = 0.0;
+    MPI_Allreduce(mine, total, "sum");
+    float best = 0.0;
+    MPI_Reduce(mine, best, "max", 0);
+    print(total, best);
+}
+""", nprocs=3)
+    assert r.outputs[0] == ["6.0 3.0"]
+    assert r.outputs[1] == ["6.0 0.0"]  # non-root keeps initial value
+
+
+def test_gather_scatter_arrays():
+    r = outputs("""
+void main() {
+    int rank = MPI_Comm_rank();
+    int size = MPI_Comm_size();
+    int buf[2];
+    MPI_Gather(rank * 10, buf, 0);
+    int part = -1;
+    MPI_Scatter(buf, part, 0);
+    print(part);
+}
+""", nprocs=2)
+    assert r.outputs[0] == ["0"]
+    assert r.outputs[1] == ["10"]
+
+
+def test_scan():
+    r = outputs("""
+void main() {
+    int rank = MPI_Comm_rank();
+    int acc = 0;
+    MPI_Scan(rank + 1, acc, "sum");
+    print(acc);
+}
+""", nprocs=3)
+    assert [r.outputs[i][0] for i in range(3)] == ["1", "3", "6"]
+
+
+def test_sendrecv_ring():
+    r = outputs("""
+void main() {
+    int rank = MPI_Comm_rank();
+    int size = MPI_Comm_size();
+    int right = mod(rank + 1, size);
+    int left = mod(rank - 1 + size, size);
+    int got = -1;
+    MPI_Sendrecv(rank, right, 5, got, left, 5);
+    print(got);
+}
+""", nprocs=3)
+    assert [r.outputs[i][0] for i in range(3)] == ["2", "0", "1"]
+
+
+def test_collective_inside_single_runs_clean():
+    r = outputs("""
+void main() {
+    float x = 1.0;
+    float y = 0.0;
+    #pragma omp parallel num_threads(3)
+    {
+        #pragma omp single
+        { MPI_Allreduce(x, y, "sum"); }
+    }
+    print(y);
+}
+""", nprocs=2, num_threads=3)
+    assert r.outputs[0] == ["2.0"]
+
+
+def test_work_builtin_is_deterministic():
+    r = outputs("void main() { print(work(10) == work(10)); }")
+    assert r.outputs[0] == ["True"]

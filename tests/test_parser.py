@@ -1,0 +1,259 @@
+"""Unit tests for the minilang parser."""
+
+import pytest
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.parser import ParseError, parse_function, parse_program
+
+
+def body(src):
+    return parse_function(f"void f() {{ {src} }}").body.stmts
+
+
+def expr(src):
+    stmts = body(f"x = {src};")
+    return stmts[0].value
+
+
+def test_empty_program():
+    prog = parse_program("")
+    assert prog.funcs == []
+
+
+def test_function_with_params():
+    func = parse_function("int add(int a, float b) { return a; }")
+    assert func.name == "add"
+    assert func.ret_type == "int"
+    assert [(p.type_name, p.name) for p in func.params] == [("int", "a"), ("float", "b")]
+
+
+def test_vardecl_with_init():
+    (decl,) = body("int x = 3;")
+    assert isinstance(decl, A.VarDecl)
+    assert decl.name == "x"
+    assert isinstance(decl.init, A.IntLit) and decl.init.value == 3
+
+
+def test_array_declaration():
+    (decl,) = body("float a[10];")
+    assert decl.array_size.value == 10
+
+
+def test_assignment_ops():
+    stmts = body("x = 1; x += 2; x -= 3; x *= 4; x /= 5;")
+    assert [s.op for s in stmts] == ["=", "+=", "-=", "*=", "/="]
+
+
+def test_increment_desugars_to_plus_equal_one():
+    (stmt,) = body("x++;")
+    assert isinstance(stmt, A.Assign)
+    assert stmt.op == "+=" and stmt.value.value == 1
+
+
+def test_decrement_desugars():
+    (stmt,) = body("x--;")
+    assert stmt.op == "-=" and stmt.value.value == 1
+
+
+def test_array_element_assignment():
+    (stmt,) = body("a[i + 1] = 2;")
+    assert isinstance(stmt.target, A.ArrayRef)
+    assert isinstance(stmt.target.index, A.BinOp)
+
+
+def test_precedence_mul_over_add():
+    e = expr("1 + 2 * 3")
+    assert e.op == "+"
+    assert e.right.op == "*"
+
+
+def test_precedence_comparison_over_and():
+    e = expr("a < b && c > d")
+    assert e.op == "&&"
+    assert e.left.op == "<" and e.right.op == ">"
+
+
+def test_precedence_and_over_or():
+    e = expr("a || b && c")
+    assert e.op == "||"
+    assert e.right.op == "&&"
+
+
+def test_parentheses_override():
+    e = expr("(1 + 2) * 3")
+    assert e.op == "*"
+    assert e.left.op == "+"
+
+
+def test_unary_operators():
+    e = expr("-a + !b")
+    assert e.op == "+"
+    assert isinstance(e.left, A.UnaryOp) and e.left.op == "-"
+    assert isinstance(e.right, A.UnaryOp) and e.right.op == "!"
+
+
+def test_left_associativity():
+    e = expr("a - b - c")
+    assert e.op == "-"
+    assert e.left.op == "-"  # (a-b)-c
+
+
+def test_call_with_args():
+    e = expr("min(a, b + 1)")
+    assert isinstance(e, A.Call)
+    assert e.name == "min" and len(e.args) == 2
+
+
+def test_if_without_else():
+    (stmt,) = body("if (x > 0) { y = 1; }")
+    assert isinstance(stmt, A.If)
+    assert stmt.else_body is None
+
+
+def test_if_else_with_bare_statements():
+    (stmt,) = body("if (x > 0) y = 1; else y = 2;")
+    assert isinstance(stmt.then_body, A.Block)
+    assert isinstance(stmt.else_body, A.Block)
+    assert len(stmt.then_body.stmts) == 1
+
+
+def test_while_loop():
+    (stmt,) = body("while (i < 10) { i += 1; }")
+    assert isinstance(stmt, A.While)
+
+
+def test_for_loop_parts():
+    (stmt,) = body("for (int i = 0; i < 10; i += 1) { x = i; }")
+    assert isinstance(stmt.init, A.VarDecl)
+    assert isinstance(stmt.cond, A.BinOp)
+    assert isinstance(stmt.step, A.Assign)
+
+
+def test_for_loop_with_increment_step():
+    (stmt,) = body("for (int i = 0; i < 10; i++) { }")
+    assert stmt.step.op == "+="
+
+
+def test_for_loop_empty_parts():
+    (stmt,) = body("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_break_continue_return():
+    stmts = body("while (true) { break; continue; } return;")
+    inner = stmts[0].body.stmts
+    assert isinstance(inner[0], A.Break)
+    assert isinstance(inner[1], A.Continue)
+    assert isinstance(stmts[1], A.Return)
+
+
+# -- OpenMP ----------------------------------------------------------------
+
+
+def test_omp_parallel_with_clauses():
+    (stmt,) = body("int t = 2; #pragma omp parallel num_threads(t) private(x, y)\n{ }")[1:]
+    assert isinstance(stmt, A.OmpParallel)
+    assert isinstance(stmt.num_threads, A.VarRef)
+    assert stmt.private == ["x", "y"]
+
+
+def test_omp_single_nowait():
+    (stmt,) = body("#pragma omp single nowait\n{ }")
+    assert isinstance(stmt, A.OmpSingle)
+    assert stmt.nowait
+
+
+def test_omp_master_and_critical():
+    stmts = body("#pragma omp master\n{ }\n#pragma omp critical (lck)\n{ }")
+    assert isinstance(stmts[0], A.OmpMaster)
+    assert isinstance(stmts[1], A.OmpCritical)
+    assert stmts[1].name == "lck"
+
+
+def test_omp_barrier_has_no_body():
+    stmts = body("#pragma omp barrier\nx = 1;")
+    assert isinstance(stmts[0], A.OmpBarrier)
+    assert isinstance(stmts[1], A.Assign)
+
+
+def test_omp_for():
+    (stmt,) = body("#pragma omp for nowait\nfor (int i = 0; i < 4; i += 1) { }")
+    assert isinstance(stmt, A.OmpFor)
+    assert stmt.nowait
+    assert isinstance(stmt.loop, A.For)
+
+
+def test_omp_parallel_for_combined():
+    (stmt,) = body("#pragma omp parallel for num_threads(2)\nfor (int i = 0; i < 4; i += 1) { }")
+    assert isinstance(stmt, A.OmpParallel)
+    (inner,) = stmt.body.stmts
+    assert isinstance(inner, A.OmpFor)
+
+
+def test_omp_sections():
+    src = """
+    #pragma omp sections nowait
+    {
+        #pragma omp section
+        { x = 1; }
+        #pragma omp section
+        { x = 2; }
+    }
+    """
+    (stmt,) = body(src)
+    assert isinstance(stmt, A.OmpSections)
+    assert stmt.nowait
+    assert len(stmt.sections) == 2
+
+
+def test_omp_task():
+    (stmt,) = body("#pragma omp task\n{ x = 1; }")
+    assert isinstance(stmt, A.OmpTask)
+
+
+def test_omp_schedule_clause():
+    (stmt,) = body("#pragma omp for schedule(static, 4)\nfor (int i = 0; i < 4; i += 1) { }")
+    assert stmt.schedule == "static"
+
+
+def test_non_omp_pragma_rejected():
+    with pytest.raises(ParseError):
+        body("#pragma ivdep\nx = 1;")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(ParseError):
+        body("#pragma omp simd\nx = 1;")
+
+
+def test_unknown_clause_rejected():
+    with pytest.raises(ParseError):
+        body("#pragma omp parallel collapse(2)\n{ }")
+
+
+def test_missing_semicolon_is_error():
+    with pytest.raises(ParseError):
+        body("x = 1")
+
+
+def test_unterminated_block_is_error():
+    with pytest.raises(ParseError):
+        parse_program("void f() { x = 1;")
+
+
+def test_assignment_to_literal_is_error():
+    with pytest.raises(ParseError):
+        body("3 = x;")
+
+
+def test_mpi_call_statement():
+    stmts = body('MPI_Reduce(a, b, "sum", 0);')
+    call = stmts[0].expr
+    assert call.name == "MPI_Reduce"
+    assert isinstance(call.args[2], A.StringLit)
+
+
+def test_line_numbers_recorded():
+    prog = parse_program("void f()\n{\n    x = 1;\n}\n")
+    assign = prog.funcs[0].body.stmts[0]
+    assert assign.line == 3

@@ -1,0 +1,165 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip property."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.parser import parse_program
+from repro.minilang.pretty import emit_expr, pretty
+
+
+def roundtrip(src: str) -> None:
+    prog1 = parse_program(src)
+    emitted = pretty(prog1)
+    prog2 = parse_program(emitted)
+    assert A.ast_equal(prog1, prog2), f"round-trip mismatch:\n{emitted}"
+    # Emission is idempotent once canonical.
+    assert pretty(prog2) == emitted
+
+
+def test_roundtrip_simple_function():
+    roundtrip("void main() { int x = 1; x += 2; }")
+
+
+def test_roundtrip_control_flow():
+    roundtrip("""
+int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) {
+        if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+        while (acc > 100) { acc /= 2; }
+    }
+    return acc;
+}
+""")
+
+
+def test_roundtrip_omp_constructs():
+    roundtrip("""
+void main() {
+    int x = 0;
+    #pragma omp parallel num_threads(4) private(x)
+    {
+        #pragma omp single nowait
+        { x = 1; }
+        #pragma omp barrier
+        #pragma omp master
+        { x = 2; }
+        #pragma omp critical (c1)
+        { x += 1; }
+        #pragma omp for
+        for (int i = 0; i < 8; i += 1) { x += i; }
+        #pragma omp sections
+        {
+            #pragma omp section
+            { x = 3; }
+            #pragma omp section
+            { x = 4; }
+        }
+    }
+}
+""")
+
+
+def test_roundtrip_mpi_calls():
+    roundtrip("""
+void main() {
+    MPI_Init_thread(2);
+    float a = 1.0;
+    float b = 0.0;
+    MPI_Allreduce(a, b, "sum");
+    int v[4];
+    MPI_Alltoall(v, v);
+    MPI_Finalize();
+}
+""")
+
+
+def test_parenthesization_preserves_structure():
+    roundtrip("void f() { int x = (1 + 2) * (3 - 4) / (5 % 2); }")
+
+
+def test_right_operand_parens_for_subtraction():
+    # a - (b - c) must keep its parens.
+    src = "void f() { int x = 1 - (2 - 3); }"
+    prog = parse_program(src)
+    emitted = pretty(prog)
+    assert "1 - (2 - 3)" in emitted
+    roundtrip(src)
+
+
+def test_unary_inside_binary():
+    roundtrip("void f() { int x = -1 + -(2 * 3); bool b = !(true && false); }")
+
+
+def test_string_escapes_roundtrip():
+    roundtrip('void f() { print("a\\nb\\t\\"q\\""); }')
+
+
+def test_emit_expr_minimal_parens():
+    prog = parse_program("void f() { int x = 1 + 2 * 3; }")
+    init = prog.funcs[0].body.stmts[0].init
+    assert emit_expr(init) == "1 + 2 * 3"
+
+
+# -- property-based: generated programs round-trip -----------------------------
+
+_ident = st.sampled_from(["x", "y", "z", "acc", "tmp"])
+
+
+@st.composite
+def _exprs(draw, depth=0):
+    if depth > 3:
+        return draw(st.one_of(
+            st.integers(0, 100).map(lambda v: A.IntLit(value=v)),
+            _ident.map(lambda n: A.VarRef(name=n)),
+        ))
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return A.IntLit(value=draw(st.integers(0, 1000)))
+    if choice == 1:
+        return A.VarRef(name=draw(_ident))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "==", "&&", "||"]))
+        return A.BinOp(op=op, left=draw(_exprs(depth + 1)), right=draw(_exprs(depth + 1)))
+    if choice == 3:
+        return A.UnaryOp(op=draw(st.sampled_from(["-", "!"])), operand=draw(_exprs(depth + 1)))
+    return A.Call(name="min", args=[draw(_exprs(depth + 1)), draw(_exprs(depth + 1))])
+
+
+@st.composite
+def _stmts(draw, depth=0):
+    if depth > 2:
+        return A.Assign(target=A.VarRef(name=draw(_ident)), op="=", value=draw(_exprs()))
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return A.Assign(target=A.VarRef(name=draw(_ident)),
+                        op=draw(st.sampled_from(["=", "+=", "-=", "*="])),
+                        value=draw(_exprs()))
+    if choice == 1:
+        return A.If(cond=draw(_exprs()),
+                    then_body=A.Block(stmts=draw(st.lists(_stmts(depth + 1), max_size=2))),
+                    else_body=draw(st.one_of(
+                        st.none(),
+                        st.builds(A.Block, stmts=st.lists(_stmts(depth + 1), max_size=2)))))
+    if choice == 2:
+        return A.While(cond=draw(_exprs()),
+                       body=A.Block(stmts=draw(st.lists(_stmts(depth + 1), max_size=2))))
+    if choice == 3:
+        return A.OmpParallel(body=A.Block(stmts=draw(st.lists(_stmts(depth + 1), max_size=2))))
+    if choice == 4:
+        return A.OmpSingle(body=A.Block(stmts=draw(st.lists(_stmts(depth + 1), max_size=2))),
+                           nowait=draw(st.booleans()))
+    return A.ExprStmt(expr=A.Call(name="work", args=[draw(_exprs())]))
+
+
+@given(st.lists(_stmts(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_roundtrip_generated_programs(stmts):
+    prog = A.Program(funcs=[A.FuncDef(ret_type="void", name="main",
+                                      body=A.Block(stmts=stmts))])
+    emitted = pretty(prog)
+    reparsed = parse_program(emitted)
+    assert A.ast_equal(prog, reparsed), emitted
+    assert pretty(reparsed) == emitted

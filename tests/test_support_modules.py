@@ -1,0 +1,177 @@
+"""Tests for the supporting modules: registry, thread levels, loops,
+diagnostics, reports."""
+
+import pytest
+
+from repro import analyze_program, parse_program
+from repro.cfg import build_cfg, loop_nesting_depth, natural_loops
+from repro.core import ErrorCode, analysis_summary, render_report
+from repro.core.diagnostics import Diagnostic, DiagnosticBag, SourceRef
+from repro.minilang.parser import parse_function
+from repro.mpi.collectives import (
+    COLLECTIVES,
+    RETURN_COLOR,
+    collective_color,
+    color_name,
+    is_collective,
+    is_mpi_call,
+)
+from repro.mpi.thread_levels import LEVEL_FROM_INT, ThreadLevel, required_level
+
+
+# -- collective registry ------------------------------------------------------
+
+
+def test_colors_unique_and_nonzero():
+    colors = [info.color for info in COLLECTIVES.values()]
+    assert len(set(colors)) == len(colors)
+    assert RETURN_COLOR not in colors
+
+
+def test_color_name_roundtrip():
+    for name in COLLECTIVES:
+        assert color_name(collective_color(name)) == name
+    assert color_name(RETURN_COLOR) == "<return>"
+    assert "unknown" in color_name(9999)
+
+
+def test_is_collective_vs_is_mpi_call():
+    assert is_collective("MPI_Barrier")
+    assert not is_collective("MPI_Send")
+    assert is_mpi_call("MPI_Send")
+    assert is_mpi_call("MPI_Comm_rank")
+    assert not is_mpi_call("print")
+
+
+def test_rooted_collectives_marked():
+    assert COLLECTIVES["MPI_Bcast"].has_root
+    assert not COLLECTIVES["MPI_Allreduce"].has_root
+
+
+# -- thread levels --------------------------------------------------------------
+
+
+def test_thread_level_ordering():
+    assert ThreadLevel.SINGLE < ThreadLevel.FUNNELED < ThreadLevel.SERIALIZED \
+        < ThreadLevel.MULTIPLE
+    assert max(ThreadLevel.SINGLE, ThreadLevel.MULTIPLE) is ThreadLevel.MULTIPLE
+
+
+def test_level_from_int_total():
+    assert LEVEL_FROM_INT[0] is ThreadLevel.SINGLE
+    assert LEVEL_FROM_INT[3] is ThreadLevel.MULTIPLE
+    assert len(LEVEL_FROM_INT) == 4
+
+
+@pytest.mark.parametrize("has_p,mono,master,expected", [
+    (False, True, False, ThreadLevel.SINGLE),
+    (True, True, True, ThreadLevel.FUNNELED),
+    (True, True, False, ThreadLevel.SERIALIZED),
+    (True, False, False, ThreadLevel.MULTIPLE),
+])
+def test_required_level_matrix(has_p, mono, master, expected):
+    assert required_level(has_p, mono, master) is expected
+
+
+def test_mpi_name():
+    assert ThreadLevel.SERIALIZED.mpi_name == "MPI_THREAD_SERIALIZED"
+
+
+# -- loops ------------------------------------------------------------------------
+
+
+def test_natural_loop_detection():
+    func = parse_function("""
+void f(int n) {
+    for (int i = 0; i < n; i += 1) {
+        for (int j = 0; j < n; j += 1) { print(i, j); }
+    }
+}
+""")
+    cfg, _ = build_cfg(func, set())
+    loops = natural_loops(cfg)
+    assert len(loops) == 2
+    inner, outer = sorted(loops, key=lambda l: len(l.body))
+    assert inner.body < outer.body
+
+
+def test_loop_nesting_depth():
+    func = parse_function("""
+void f(int n) {
+    while (n > 0) {
+        while (n > 1) { n -= 1; }
+        n -= 1;
+    }
+}
+""")
+    cfg, _ = build_cfg(func, set())
+    depth = loop_nesting_depth(cfg)
+    assert max(depth.values()) == 2
+    assert depth[cfg.entry_id] == 0
+
+
+def test_no_loops_in_straight_line():
+    func = parse_function("void f() { print(1); }")
+    cfg, _ = build_cfg(func, set())
+    assert natural_loops(cfg) == []
+
+
+# -- diagnostics & reports -----------------------------------------------------------
+
+
+def test_diagnostic_render_contains_everything():
+    diag = Diagnostic(
+        code=ErrorCode.COLLECTIVE_MISMATCH, function="main",
+        message="possible deadlock",
+        collectives=(SourceRef("MPI_Bcast", 14),),
+        conditionals=(13,),
+        context="pw = P1 S2",
+    )
+    text = diag.render()
+    assert "collective-mismatch" in text
+    assert "MPI_Bcast (line 14)" in text
+    assert "13" in text
+    assert "P1 S2" in text
+
+
+def test_diagnostic_bag_counting():
+    bag = DiagnosticBag()
+    bag.add(Diagnostic(code=ErrorCode.COLLECTIVE_MISMATCH, function="f", message="m"))
+    bag.add(Diagnostic(code=ErrorCode.THREAD_LEVEL, function="f", message="m"))
+    assert bag.count() == 2
+    assert bag.count(ErrorCode.COLLECTIVE_MISMATCH) == 1
+    assert len(bag.by_code(ErrorCode.THREAD_LEVEL)) == 1
+    assert "no warnings" in DiagnosticBag().render()
+
+
+def test_analysis_summary_structure():
+    src = """
+void main() {
+    int r = MPI_Comm_rank();
+    if (r == 0) { MPI_Barrier(); }
+}
+"""
+    analysis = analyze_program(parse_program(src))
+    summary = analysis_summary(analysis)
+    assert summary["warnings_total"] == 1
+    assert summary["functions"]["main"]["flagged"] is True
+    assert summary["functions"]["main"]["collectives"] == 1
+    assert summary["verified"] is False
+    assert summary["warnings_by_code"]["collective-mismatch"] == 1
+
+
+def test_render_report_verbose_shows_words():
+    src = """
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+"""
+    analysis = analyze_program(parse_program(src))
+    text = render_report(analysis, verbose=True)
+    assert "PARCOACH analysis" in text
+    assert "pw =" in text
+    assert "MPI_Barrier" in text

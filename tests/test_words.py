@@ -1,0 +1,346 @@
+"""Parallelism-word computation and language-L membership tests."""
+
+import pytest
+
+from repro.minilang import ast_nodes as A
+from repro.minilang.parser import parse_function
+from repro.parallelism import (
+    B,
+    EMPTY,
+    P,
+    S,
+    common_prefix,
+    compute_words,
+    count_barriers,
+    format_word,
+    in_language,
+    is_monothreaded,
+    parse_word,
+    strip_barriers,
+)
+
+
+def word_at_collective(src, name="MPI_Barrier", initial=EMPTY):
+    func = parse_function(src)
+    info = compute_words(func, initial)
+    for node in func.walk():
+        if isinstance(node, A.ExprStmt) and isinstance(node.expr, A.Call) \
+                and node.expr.name == name:
+            return info.words[node.uid]
+    raise AssertionError(f"no {name} in program")
+
+
+# -- the language L -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("", True),
+    ("S1", True),
+    ("P1 S2", True),
+    ("P1 B S2", True),
+    ("P1 B B S2", True),
+    ("S1 P2 S3", True),
+    ("P1 S2 P3 S4", True),
+    ("P1", False),
+    ("P1 B", False),
+    ("P1 P2 S3", False),
+    ("B", False),         # strict language has no stray barrier
+    ("P1 S2 P3", False),
+])
+def test_strict_language(text, expected):
+    assert in_language(parse_word(text)) is expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("", True),
+    ("P1 S2", True),
+    ("P1 B S2", True),
+    ("P1 S2 B S3", True),   # B after nested close inside a single: still mono
+    ("B", True),            # barriers alone don't add parallelism
+    ("P1", False),
+    ("P1 P2 S3", False),
+    ("P1 S2 P3", False),
+])
+def test_monothreaded_predicate(text, expected):
+    assert is_monothreaded(parse_word(text)) is expected
+
+
+def test_monothreaded_agrees_with_strict_language_on_l_words():
+    for text in ["", "S1", "P1 S2", "P1 B S2", "S1 S2", "P1 S2 P3 S4"]:
+        word = parse_word(text)
+        assert in_language(word)
+        assert is_monothreaded(word)
+
+
+# -- word construction -------------------------------------------------------------
+
+
+def test_collective_at_top_level_has_empty_word():
+    assert word_at_collective("void f() { MPI_Barrier(); }") == EMPTY
+
+
+def test_collective_in_parallel_is_p():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    { MPI_Barrier(); }
+}
+""")
+    assert len(word) == 1 and isinstance(word[0], P)
+    assert not is_monothreaded(word)
+
+
+def test_collective_in_single_is_ps():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, S]
+    assert is_monothreaded(word)
+
+
+def test_collective_in_master_is_ps_master_kind():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert isinstance(word[1], S) and word[1].kind == "master"
+
+
+def test_barrier_token_recorded_between_regions():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp barrier
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, B, S]
+
+
+def test_single_implicit_barrier_appears_for_following_code():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { print(1); }
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    # first single's end barrier precedes the second single
+    assert count_barriers(word) == 1
+
+
+def test_single_nowait_suppresses_barrier():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single nowait
+        { print(1); }
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert count_barriers(word) == 0
+
+
+def test_word_resets_after_region_closes():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    { print(1); }
+    MPI_Barrier();
+}
+""")
+    # the top-level join leaves the empty (monothreaded) context
+    assert word == EMPTY
+
+
+def test_nested_parallel_gives_pp():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp parallel
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, P]
+    assert not is_monothreaded(word)
+
+
+def test_single_then_nested_parallel_single_is_monothreaded():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp parallel
+            {
+                #pragma omp single
+                { MPI_Barrier(); }
+            }
+        }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, S, P, S]
+    assert is_monothreaded(word)
+
+
+def test_omp_for_keeps_parallel_level():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp for
+        for (int i = 0; i < 4; i += 1) { MPI_Barrier(); }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P]
+
+
+def test_sections_give_section_tokens():
+    func = parse_function("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            { MPI_Barrier(); }
+            #pragma omp section
+            { MPI_Allreduce(x, y, "sum"); }
+        }
+    }
+}
+""")
+    info = compute_words(func)
+    words = [
+        info.words[n.uid] for n in func.walk()
+        if isinstance(n, A.ExprStmt) and isinstance(n.expr, A.Call)
+        and n.expr.name.startswith("MPI_")
+    ]
+    assert len(words) == 2
+    w1, w2 = words
+    assert isinstance(w1[1], S) and w1[1].kind == "section"
+    assert isinstance(w2[1], S) and w2[1].kind == "section"
+    assert w1[1].region_id != w2[1].region_id
+    assert count_barriers(w1) == count_barriers(w2)
+
+
+def test_critical_does_not_change_word():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp critical
+        { MPI_Barrier(); }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P]
+
+
+def test_task_is_conservatively_parallel():
+    word = word_at_collective("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task
+            { MPI_Barrier(); }
+        }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, S, P]
+    assert not is_monothreaded(word)
+
+
+def test_initial_word_prefixes_everything():
+    initial = parse_word("P9")
+    word = word_at_collective("void f() { MPI_Barrier(); }", initial=initial)
+    assert word == initial
+    assert not is_monothreaded(word)
+
+
+def test_control_flow_does_not_change_word():
+    word = word_at_collective("""
+void f(int x) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            if (x > 0) {
+                while (x > 1) { x -= 1; }
+                MPI_Barrier();
+            }
+        }
+    }
+}
+""")
+    assert [type(t) for t in word] == [P, S]
+
+
+def test_enclosing_constructs_tracked():
+    func = parse_function("""
+void f() {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { MPI_Barrier(); }
+    }
+}
+""")
+    info = compute_words(func)
+    for node in func.walk():
+        if isinstance(node, A.ExprStmt):
+            chain = info.enclosing[node.uid]
+            kinds = [info.construct_kinds[uid] for uid in chain]
+            assert kinds == ["parallel", "single"]
+
+
+# -- word utilities ------------------------------------------------------------------
+
+
+def test_format_word():
+    assert format_word(EMPTY) == "ε"
+    assert format_word(parse_word("P1 B S2")) == "P1 B S2"
+
+
+def test_common_prefix():
+    w1 = parse_word("P1 S2 B")
+    w2 = parse_word("P1 S3")
+    assert common_prefix(w1, w2) == parse_word("P1")
+
+
+def test_strip_barriers():
+    assert strip_barriers(parse_word("P1 B B S2")) == parse_word("P1 S2")
+
+
+def test_parse_word_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_word("Q7")
