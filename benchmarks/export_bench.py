@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Export the scale-benchmark results to ``BENCH_scale.json``.
+
+Runs ``benchmarks/bench_scale.py`` under pytest-benchmark, then compacts the
+raw report into a small, diff-friendly JSON checked into the repository so
+the performance trajectory is tracked PR over PR::
+
+    PYTHONPATH=src python benchmarks/export_bench.py [-o BENCH_scale.json]
+
+The compact schema::
+
+    {
+      "suite": "bench_scale",
+      "python": "3.11.7",
+      "benchmarks": [
+        {"test": "test_scale_cold[XL]", "size": "XL", "config": "cold",
+         "mean_s": 0.08, "stddev_s": 0.002, "rounds": 10},
+        ...
+      ],
+      "derived": {
+        "warm_speedup": {"XL": 39.5, ...},     # cold mean / warm mean
+        "dominates_depth_ratio": 1.1           # deepest / shallowest query
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+
+def run_benchmarks(raw_json: str) -> None:
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    cmd = [
+        sys.executable, "-m", "pytest",
+        os.path.join(HERE, "bench_scale.py"),
+        "-q", "--benchmark-only", f"--benchmark-json={raw_json}",
+    ]
+    subprocess.run(cmd, check=True, cwd=REPO, env=env)
+
+
+def compact(raw: dict) -> dict:
+    benchmarks = []
+    by_config: dict = {}
+    for bench in raw.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        stats = bench.get("stats", {})
+        entry = {
+            "test": bench.get("name"),
+            "size": extra.get("size", extra.get("depth")),
+            "config": extra.get("config"),
+            "mean_s": round(stats.get("mean", 0.0), 9),
+            "stddev_s": round(stats.get("stddev", 0.0), 9),
+            "rounds": stats.get("rounds"),
+        }
+        benchmarks.append(entry)
+        by_config.setdefault(entry["config"], {})[entry["size"]] = entry["mean_s"]
+
+    derived: dict = {}
+    cold = by_config.get("cold", {})
+    warm = by_config.get("warm", {})
+    speedups = {
+        size: round(cold[size] / warm[size], 2)
+        for size in cold if size in warm and warm[size] > 0
+    }
+    if speedups:
+        derived["warm_speedup"] = speedups
+    dom = by_config.get("dominates", {})
+    if len(dom) >= 2:
+        depths = sorted(dom)
+        if dom[depths[0]] > 0:
+            derived["dominates_depth_ratio"] = round(
+                dom[depths[-1]] / dom[depths[0]], 2)
+    return {
+        "suite": "bench_scale",
+        "python": platform.python_version(),
+        "machine": raw.get("machine_info", {}).get("machine"),
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(REPO, "BENCH_scale.json"))
+    parser.add_argument("--raw", help="also keep the full pytest-benchmark "
+                                      "report at this path")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = args.raw or os.path.join(tmp, "raw.json")
+        run_benchmarks(raw_json)
+        with open(raw_json, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+
+    report = compact(raw)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(report['benchmarks'])} benchmarks, "
+          f"derived={report['derived']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

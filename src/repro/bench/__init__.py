@@ -15,6 +15,7 @@ from .pipeline import (
     measure_overheads,
     overhead_percent,
 )
+from .scale import SCALE_SIZES, make_scale_program, scale_suite
 
 #: The five benchmarks of Figure 1, in the paper's order.
 FIGURE1_BENCHMARKS = ("BT-MZ", "SP-MZ", "LU-MZ", "EPCC suite", "HERA")
@@ -50,4 +51,7 @@ __all__ = [
     "overhead_percent",
     "FIGURE1_BENCHMARKS",
     "benchmark_sources",
+    "SCALE_SIZES",
+    "make_scale_program",
+    "scale_suite",
 ]

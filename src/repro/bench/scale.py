@@ -1,0 +1,108 @@
+"""Synthetic program generator for the scale benchmarks.
+
+Produces deterministic minilang programs parameterized by function count,
+CFG nesting depth and collective density — the three axes that drive the
+asymptotic cost of the static analysis (function loop, dominator/PDF+ work
+per CFG, and per-collective-name Algorithm 1 passes respectively).
+``benchmarks/bench_scale.py`` sweeps these to chart walltime vs. program
+size for cold / warm-cache / parallel engine configurations.
+
+Everything is seeded: the same parameters always generate byte-identical
+source, so benchmark numbers are comparable across runs and the warm-cache
+configurations hit the engine's structural fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+_COLLECTIVES = (
+    'MPI_Allreduce(acc, red, "sum");',
+    "MPI_Barrier();",
+    "MPI_Bcast(x, 0);",
+)
+
+
+def _emit_level(rng: random.Random, lines: List[str], indent: int,
+                depth: int, density: float, loop_counter: List[int]) -> None:
+    """One nesting level: filler arithmetic, an optional collective, and a
+    for/if wrapper around the next level."""
+    pad = "    " * indent
+    lines.append(f"{pad}acc += 1.0;")
+    if rng.random() < density:
+        lines.append(pad + rng.choice(_COLLECTIVES))
+    if depth <= 0:
+        lines.append(f"{pad}x += 1;")
+        return
+    n = loop_counter[0]
+    loop_counter[0] += 1
+    if rng.random() < 0.5:
+        lines.append(f"{pad}for (int i{n} = 0; i{n} < 4; i{n} += 1) {{")
+        _emit_level(rng, lines, indent + 1, depth - 1, density, loop_counter)
+        lines.append(f"{pad}}}")
+    else:
+        lines.append(f"{pad}if (x < {8 + n}) {{")
+        _emit_level(rng, lines, indent + 1, depth - 1, density, loop_counter)
+        lines.append(f"{pad}}}")
+        lines.append(f"{pad}else {{")
+        lines.append(f"{pad}    acc += 2.0;")
+        if rng.random() < density:
+            lines.append(pad + "    " + rng.choice(_COLLECTIVES))
+        lines.append(f"{pad}}}")
+
+
+def make_scale_function(name: str, depth: int, density: float,
+                        rng: random.Random, mismatch: bool) -> str:
+    """One synthetic function; ``mismatch`` adds a rank-guarded collective
+    (the classic PARCOACH warning pattern) so the generated programs exercise
+    the diagnostic path, not only the clean fast path."""
+    lines: List[str] = [f"void {name}(int n) {{"]
+    lines.append("    float acc = 1.0;")
+    lines.append("    float red = 0.0;")
+    lines.append("    int x = 1;")
+    if mismatch:
+        lines.append("    int rank = MPI_Comm_rank();")
+        lines.append("    if (rank == 0) {")
+        lines.append("        MPI_Barrier();")
+        lines.append("    }")
+    _emit_level(rng, lines, 1, depth, density, [0])
+    lines.append('    MPI_Allreduce(acc, red, "sum");')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def make_scale_program(n_funcs: int = 16, depth: int = 4,
+                       collective_density: float = 0.4,
+                       mismatch_fraction: float = 0.25,
+                       seed: int = 20150207) -> str:
+    """A whole synthetic program: ``n_funcs`` generated functions plus a
+    ``main`` that initializes MPI and calls each one."""
+    rng = random.Random((seed, n_funcs, depth, collective_density,
+                         mismatch_fraction).__repr__())
+    parts: List[str] = []
+    for i in range(n_funcs):
+        mismatch = (i % max(1, round(1 / mismatch_fraction)) == 0
+                    if mismatch_fraction > 0 else False)
+        parts.append(make_scale_function(f"compute_{i}", depth,
+                                         collective_density, rng, mismatch))
+    main_lines = ["void main() {", "    MPI_Init_thread(0);"]
+    main_lines += [f"    compute_{i}(8);" for i in range(n_funcs)]
+    main_lines += ["    MPI_Finalize();", "}"]
+    parts.append("\n".join(main_lines))
+    return "\n\n".join(parts) + "\n"
+
+
+#: The size sweep the scale benchmark charts (name -> generator kwargs).
+SCALE_SIZES: Dict[str, Dict[str, float]] = {
+    "S": {"n_funcs": 4, "depth": 3},
+    "M": {"n_funcs": 16, "depth": 4},
+    "L": {"n_funcs": 48, "depth": 5},
+    "XL": {"n_funcs": 96, "depth": 6},
+}
+
+
+def scale_suite() -> Dict[str, str]:
+    """Generated sources for the whole size sweep."""
+    return {name: make_scale_program(**kwargs)  # type: ignore[arg-type]
+            for name, kwargs in SCALE_SIZES.items()}

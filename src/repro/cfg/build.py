@@ -65,6 +65,9 @@ class CFGBuilder:
         self._link(cur, exit_block.id)
         self.cfg.remove_unreachable()
         self.cfg.ensure_exit_reachable()
+        # Construction is over: seal adjacency so every analysis downstream
+        # gets zero-copy tuple views from successors()/predecessors().
+        self.cfg.freeze()
         return self.cfg
 
     # -- statement translation --------------------------------------------------------

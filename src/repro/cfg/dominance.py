@@ -4,6 +4,12 @@ Implementation follows Cooper, Harvey & Kennedy, *A Simple, Fast Dominance
 Algorithm* — the same engine serves both directions: post-dominators are
 dominators of the reverse graph rooted at the CFG exit.
 
+Dominance queries are O(1): after the idom fixpoint the tree is numbered by
+a DFS interval (Euler-tour) pass, so ``a dominates b`` is two integer
+comparisons (``tin[a] <= tin[b] <= tout[a]``) instead of an O(depth) walk up
+the parent chain.  The chain walk survives as :meth:`dominates_via_chain`,
+the oracle the property tests compare against.
+
 The **iterated post-dominance frontier** ``PDF+`` is the core of PARCOACH's
 Algorithm 1: for the set ``S_c`` of nodes calling collective ``c``,
 ``PDF+(S_c)`` is exactly the set of branch points where the execution of the
@@ -12,7 +18,7 @@ remaining ``c``-sequence may diverge between MPI processes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .graph import CFG
 
@@ -41,15 +47,20 @@ class DominatorTree:
         self._compute()
         self._children: Optional[Dict[int, List[int]]] = None
         self._frontier: Optional[Dict[int, Set[int]]] = None
+        #: DFS interval numbering of the dominator tree (lazy; O(1) queries).
+        self._tin: Optional[Dict[int, int]] = None
+        self._tout: Optional[Dict[int, int]] = None
 
     # -- Cooper–Harvey–Kennedy ------------------------------------------------
 
     def _intersect(self, a: int, b: int) -> int:
+        idom = self.idom
+        index = self._rpo_index
         while a != b:
-            while self._rpo_index[a] > self._rpo_index[b]:
-                a = self.idom[a]
-            while self._rpo_index[b] > self._rpo_index[a]:
-                b = self.idom[b]
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
         return a
 
     def _compute(self) -> None:
@@ -72,10 +83,51 @@ class DominatorTree:
                     self.idom[node] = new_idom
                     changed = True
 
+    # -- interval numbering ----------------------------------------------------
+
+    def _ensure_intervals(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Number the dominator tree with DFS entry/exit times.
+
+        ``a`` dominates ``b`` iff ``tin[a] <= tin[b] <= tout[a]`` — the
+        subtree of ``a`` occupies the contiguous interval
+        ``[tin[a], tout[a]]`` of entry times.
+        """
+        if self._tin is None:
+            children = self.children()
+            tin: Dict[int, int] = {}
+            tout: Dict[int, int] = {}
+            clock = 0
+            # Iterative DFS (generated benchmark CFGs nest deeply).
+            stack: List[Tuple[int, bool]] = [(self.root, False)]
+            while stack:
+                node, done = stack.pop()
+                if done:
+                    tout[node] = clock - 1
+                    continue
+                tin[node] = clock
+                clock += 1
+                stack.append((node, True))
+                for child in reversed(children.get(node, ())):
+                    stack.append((child, False))
+            self._tin, self._tout = tin, tout
+        return self._tin, self._tout  # type: ignore[return-value]
+
     # -- queries -----------------------------------------------------------------
 
     def dominates(self, a: int, b: int) -> bool:
-        """True when ``a`` (post)dominates ``b`` (reflexive)."""
+        """True when ``a`` (post)dominates ``b`` (reflexive) — O(1)."""
+        if a == b:
+            return True
+        tin, tout = self._ensure_intervals()
+        ta = tin.get(a)
+        tb = tin.get(b)
+        if ta is None or tb is None:
+            return False  # unreachable nodes dominate only themselves
+        return ta <= tb <= tout[a]
+
+    def dominates_via_chain(self, a: int, b: int) -> bool:
+        """O(depth) parent-chain oracle for :meth:`dominates` (kept for the
+        property tests; not used on any hot path)."""
         node = b
         while True:
             if node == a:
@@ -99,21 +151,31 @@ class DominatorTree:
         return self._children
 
     def dominance_frontier(self) -> Dict[int, Set[int]]:
-        """Classic per-node dominance frontier (Cytron et al. via CHK)."""
+        """Classic per-node dominance frontier (Cytron et al. via CHK).
+
+        One pass over a precomputed join-point predecessor table; the runner
+        walks stop at ``idom[join]`` exactly as in CHK.
+        """
         if self._frontier is not None:
             return self._frontier
-        frontier: Dict[int, Set[int]] = {n: set() for n in self.idom}
-        for node in self.idom:
-            preds = [p for p in self._preds(node) if p in self.idom]
+        idom = self.idom
+        frontier: Dict[int, Set[int]] = {n: set() for n in idom}
+        # Precompute the (filtered) predecessor table of the join points —
+        # only nodes with >= 2 reachable predecessors contribute.
+        joins: List[Tuple[int, List[int]]] = []
+        for node in idom:
+            preds = [p for p in self._preds(node) if p in idom]
             if len(preds) >= 2:
-                for pred in preds:
-                    runner = pred
-                    while runner != self.idom[node]:
-                        frontier.setdefault(runner, set()).add(node)
-                        nxt = self.idom.get(runner)
-                        if nxt is None or nxt == runner:
-                            break
-                        runner = nxt
+                joins.append((node, preds))
+        for node, preds in joins:
+            stop = idom[node]
+            for runner in preds:
+                while runner != stop:
+                    frontier[runner].add(node)
+                    nxt = idom.get(runner)
+                    if nxt is None or nxt == runner:
+                        break
+                    runner = nxt
         self._frontier = frontier
         return frontier
 

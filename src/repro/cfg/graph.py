@@ -4,12 +4,22 @@ A :class:`CFG` owns its blocks and the (ordered) successor/predecessor
 adjacency.  It always has a unique ``entry`` and a unique ``exit`` block;
 ``ensure_exit_reachable`` adds virtual edges so post-dominance is well
 defined even with infinite loops.
+
+Adjacency is **frozen** once construction ends (:meth:`freeze`):
+``successors``/``predecessors`` then return the internal tuples directly —
+zero-copy views safe to hand out because tuples are immutable.  Every
+fixpoint loop in the analyses (dominators, dataflow, possible-counts) sits
+on top of these accessors, so the freeze removes one list allocation per
+visited edge per iteration.  Unfrozen graphs (hand-built in tests) still
+get defensive copies.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..minilang import ast_nodes as A
+from ..mpi.collectives import is_collective
 from .basic_block import BasicBlock, BlockKind
 
 
@@ -17,8 +27,9 @@ class CFG:
     def __init__(self, func_name: str = "<anon>") -> None:
         self.func_name = func_name
         self.blocks: Dict[int, BasicBlock] = {}
-        self._succ: Dict[int, List[int]] = {}
-        self._pred: Dict[int, List[int]] = {}
+        self._succ: Dict[int, Sequence[int]] = {}
+        self._pred: Dict[int, Sequence[int]] = {}
+        self._frozen = False
         self._next_id = 0
         self.entry_id: int = -1
         self.exit_id: int = -1
@@ -32,6 +43,7 @@ class CFG:
     # -- construction ---------------------------------------------------------
 
     def new_block(self, kind: BlockKind, **kwargs) -> BasicBlock:
+        self._check_mutable()
         block = BasicBlock(id=self._next_id, kind=kind, **kwargs)
         self.blocks[block.id] = block
         self._succ[block.id] = []
@@ -40,19 +52,44 @@ class CFG:
         return block
 
     def add_edge(self, src: int, dst: int, virtual: bool = False) -> None:
+        self._check_mutable()
         if dst not in self._succ[src]:
-            self._succ[src].append(dst)
-            self._pred[dst].append(src)
+            self._succ[src].append(dst)  # type: ignore[union-attr]
+            self._pred[dst].append(src)  # type: ignore[union-attr]
         if virtual:
             self.virtual_edges.add((src, dst))
 
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                f"CFG of {self.func_name!r} is frozen; structural mutation "
+                f"after construction is not allowed"
+            )
+
+    def freeze(self) -> "CFG":
+        """Seal the graph: adjacency becomes immutable tuples and the
+        accessors below switch to zero-copy views.  Idempotent."""
+        if not self._frozen:
+            self._succ = {bid: tuple(s) for bid, s in self._succ.items()}
+            self._pred = {bid: tuple(p) for bid, p in self._pred.items()}
+            self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
     # -- queries ------------------------------------------------------------------
 
-    def successors(self, block_id: int) -> List[int]:
-        return list(self._succ[block_id])
+    def successors(self, block_id: int) -> Sequence[int]:
+        """Ordered successors — a read-only view (tuple) once frozen."""
+        succs = self._succ[block_id]
+        return succs if self._frozen else tuple(succs)
 
-    def predecessors(self, block_id: int) -> List[int]:
-        return list(self._pred[block_id])
+    def predecessors(self, block_id: int) -> Sequence[int]:
+        """Ordered predecessors — a read-only view (tuple) once frozen."""
+        preds = self._pred[block_id]
+        return preds if self._frozen else tuple(preds)
 
     def block(self, block_id: int) -> BasicBlock:
         return self.blocks[block_id]
@@ -120,6 +157,7 @@ class CFG:
 
     def remove_unreachable(self) -> int:
         """Drop blocks not reachable from entry (keep exit). Returns count removed."""
+        self._check_mutable()
         reachable = self.reachable_from_entry()
         reachable.add(self.exit_id)
         doomed = [bid for bid in self.blocks if bid not in reachable]
@@ -139,19 +177,41 @@ class CFG:
         Returns the number of virtual edges added.  Needed for post-dominator
         computation; execution semantics are unaffected because virtual edges
         are recorded in :attr:`virtual_edges`.
+
+        Single reverse-reachability pass: the can-reach-exit set is computed
+        once and updated incrementally after each virtual edge (everything
+        that reaches the new edge's source now reaches exit), instead of the
+        former recompute-from-scratch loop — O(V+E) total instead of
+        O(edges_added * (V+E)).
         """
+        self._check_mutable()
+        can_reach = self.can_reach_exit()
+        stuck = {bid for bid in self.blocks if bid not in can_reach}
+        if not stuck:
+            return 0
+        # Forward reachability never changes here: a virtual edge targets the
+        # exit, which has no successors, so one pass suffices for candidates.
+        reachable = self.reachable_from_entry()
         added = 0
-        while True:
-            can_reach = self.can_reach_exit()
-            stuck = [bid for bid in self.blocks if bid not in can_reach]
-            if not stuck:
-                return added
+        while stuck:
             # Pick the smallest stuck id that is reachable from entry to keep
             # the virtual structure deterministic.
-            reachable = self.reachable_from_entry()
-            candidates = [b for b in stuck if b in reachable] or stuck
-            self.add_edge(min(candidates), self.exit_id, virtual=True)
+            candidates = [b for b in stuck if b in reachable] or sorted(stuck)
+            chosen = min(candidates)
+            self.add_edge(chosen, self.exit_id, virtual=True)
             added += 1
+            # Everything that can reach `chosen` can now reach the exit.
+            can_reach.add(chosen)
+            stuck.discard(chosen)
+            work = [chosen]
+            while work:
+                node = work.pop()
+                for pred in self._pred[node]:
+                    if pred not in can_reach:
+                        can_reach.add(pred)
+                        stuck.discard(pred)
+                        work.append(pred)
+        return added
 
     def validate(self) -> List[str]:
         """Structural sanity checks; returns a list of problem descriptions."""
@@ -171,12 +231,19 @@ class CFG:
             if block.kind is BlockKind.CONDITION and nsucc != 2:
                 problems.append(f"condition block {block.id} has {nsucc} successors")
             if block.kind is BlockKind.EXIT and nsucc != 0:
-                problems.append(f"exit block has successors {self._succ[block.id]}")
+                problems.append(f"exit block has successors {list(self._succ[block.id])}")
             if block.kind is BlockKind.COLLECTIVE:
                 n_coll = sum(
                     1 for s in block.stmts
-                    for _ in [0]
+                    if isinstance(s, A.ExprStmt)
+                    and isinstance(s.expr, A.Call)
+                    and is_collective(s.expr.name)
                 )
+                if n_coll != 1:
+                    problems.append(
+                        f"collective block {block.id} contains {n_coll} "
+                        f"collective statements (expected exactly 1)"
+                    )
                 if block.collective is None:
                     problems.append(f"collective block {block.id} without collective name")
         return problems

@@ -3,13 +3,24 @@
 Subcommands::
 
     parcoach analyze FILE [--precision paper|counting] [--initial-context W]
+                          [--jobs N]
         run the static analysis, print the warning report (exit 1 if warnings)
+    parcoach batch FILE [FILE ...] [--precision P] [--jobs N] [--repeat R]
+                        [--no-cache] [--stats]
+        analyze many files through one memoized AnalysisEngine; one summary
+        line per file, cache statistics at the end (exit 1 if any warnings)
     parcoach instrument FILE [-o OUT]
         emit the instrumented source
     parcoach run FILE [-np N] [-nt T] [--instrument] [--thread-level L]
         execute under the simulator, print outputs and the verdict
     parcoach cfg FILE FUNC [-o OUT.dot]
         dump one function's CFG as Graphviz DOT
+
+Performance knobs: ``--jobs N`` fans independent per-function phases out to
+``N`` worker processes (identical output, useful on many-function programs);
+``batch`` keeps a per-function analysis cache across files and repeats, so
+structurally identical functions are analyzed once (see
+``benchmarks/bench_scale.py`` for the measured effect).
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import sys
 from typing import List, Optional
 
 from .cfg import to_dot
-from .core import analyze_program, instrument_program, render_report
+from .core import AnalysisEngine, analyze_program, instrument_program, render_report
 from .minilang.parser import parse_program
 from .minilang.pretty import pretty
 from .minilang.semantics import check_program
@@ -50,10 +61,37 @@ def _cmd_analyze(args) -> int:
     if args.initial_context:
         word = parse_word(args.initial_context)
         initial = {f.name: word for f in program.funcs}
-    analysis = analyze_program(program, initial_words=initial,
-                               precision=args.precision)
+    if args.jobs > 1:
+        engine = AnalysisEngine(jobs=args.jobs, cache=False)
+        analysis = engine.analyze(program, initial_words=initial,
+                                  precision=args.precision)
+    else:
+        analysis = analyze_program(program, initial_words=initial,
+                                   precision=args.precision)
     print(render_report(analysis, verbose=args.verbose), end="")
     return 1 if len(analysis.diagnostics) else 0
+
+
+def _cmd_batch(args) -> int:
+    engine = AnalysisEngine(jobs=args.jobs, cache=not args.no_cache)
+    any_warnings = False
+    for _ in range(max(1, args.repeat)):
+        for path in args.files:
+            program = _load(path)
+            analysis = engine.analyze(program, precision=args.precision)
+            n = len(analysis.diagnostics)
+            any_warnings = any_warnings or n > 0
+            flagged = len(analysis.flagged_functions)
+            print(f"{path}: {len(analysis.functions)} functions, "
+                  f"{flagged} flagged, {n} warnings"
+                  + ("" if analysis.verified else " [NOT VERIFIED]"))
+    if args.stats:
+        info = engine.cache_info()
+        print(f"engine: {info['programs']} programs, {info['functions']} "
+              f"function analyses, {info['hits']} cache hits "
+              f"({info['remaps']} remapped), {info['misses']} misses, "
+              f"hit rate {info['hit_rate']:.1%}", file=sys.stderr)
+    return 1 if any_warnings else 0
 
 
 def _cmd_instrument(args) -> int:
@@ -129,8 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--precision", choices=("paper", "counting"), default="paper")
     p.add_argument("--initial-context", default="",
                    help="initial parallelism word, e.g. 'P1' (paper's option)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for per-function phases (default 1)")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("batch",
+                       help="analyze many files with a shared memoized engine")
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument("--precision", choices=("paper", "counting"), default="paper")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for cache misses (default 1)")
+    p.add_argument("--repeat", type=int, default=1, metavar="R",
+                   help="analyze the file list R times (cache warm-up demo)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the per-function analysis cache")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine cache statistics to stderr")
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("instrument", help="emit instrumented source")
     p.add_argument("file")

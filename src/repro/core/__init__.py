@@ -4,6 +4,7 @@ MPI collectives in multi-threaded (MPI+OpenMP) context."""
 from .concurrency import ConcurrencyResult, analyze_concurrency, words_concurrent
 from .diagnostics import Diagnostic, DiagnosticBag, ErrorCode, SourceRef
 from .driver import FunctionAnalysis, ProgramAnalysis, analyze_program
+from .engine import AnalysisEngine, EngineStats, ast_fingerprint
 from .instrument import InstrumentationReport, instrument_program
 from .monothread import MonothreadResult, analyze_monothread
 from .report import analysis_summary, render_report
@@ -11,6 +12,9 @@ from .sequence import CollectiveFinding, SequenceResult, analyze_sequence
 from .sites import CollectiveSite, collect_sites, collective_call_graph
 
 __all__ = [
+    "AnalysisEngine",
+    "EngineStats",
+    "ast_fingerprint",
     "ConcurrencyResult",
     "analyze_concurrency",
     "words_concurrent",

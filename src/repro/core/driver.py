@@ -11,12 +11,20 @@ flagged it, or when it may execute collectives and is transitively callable
 from a flagged function (keeps the CC pairing aligned across processes
 while leaving fully verified call trees untouched — the property Figure 1's
 "verification code generation" overhead and the ablation bench measure).
+
+The module is split so the batch engine (:mod:`repro.core.engine`) can reuse
+the pieces: :func:`_analyze_function` is the pure per-function pipeline (no
+shared state — safe to run in a process pool), ``_assemble`` is the
+program-level synthesis, and :func:`analyze_program` wires both together for
+the classic one-shot call.  For memoized / parallel batch analysis use
+:class:`repro.core.engine.AnalysisEngine` (or ``parcoach analyze --jobs`` /
+``parcoach batch`` from the CLI).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cfg import CFG, build_cfg
 from ..minilang import ast_nodes as A
@@ -116,82 +124,111 @@ def _call_edges(program: A.Program, index: ProgramIndex) -> Dict[str, Set[str]]:
     }
 
 
-def analyze_program(
-    program: A.Program,
-    initial_words: Optional[Dict[str, Word]] = None,
-    precision: str = "paper",
-    instrument_all: bool = False,
-    cfgs: Optional[Dict[str, tuple]] = None,
-) -> ProgramAnalysis:
-    """Run the full static analysis.
+# ---------------------------------------------------------------------------
+# Per-function pipeline (pure — no shared state, process-pool friendly)
+# ---------------------------------------------------------------------------
 
-    Parameters
-    ----------
-    initial_words:
-        Per-function initial parallelism word (the paper's initial-level
-        option).  Functions default to the empty (monothreaded) word.
-    precision:
-        Passed to phase 3 (``"paper"`` or ``"counting"``).
-    instrument_all:
-        Ablation switch: plan CC/ENTER checks for *every* collective of every
-        function, regardless of the static verdict (blanket instrumentation
-        baseline for the selective-instrumentation ablation).
-    cfgs:
-        Pre-built CFGs (``{name: (cfg, ast_block)}``) from the compiler's
-        middle end; PARCOACH reuses them instead of rebuilding (the paper's
-        pass works directly on GCC's CFG).
+
+@dataclass
+class FunctionArtifacts:
+    """Everything the per-function pipeline produces.
+
+    This is the unit the :class:`repro.core.engine.AnalysisEngine` caches and
+    ships across process boundaries; the driver re-wraps it into a fresh
+    :class:`FunctionAnalysis` per program (the check-group / instrumentation
+    fields are program-level state and must not be shared).
     """
-    initial_words = initial_words or {}
+
+    func: A.FuncDef
+    cfg: CFG
+    ast_block: Dict[int, int]
+    word_info: WordInfo
+    sites: List[CollectiveSite]
+    monothread: MonothreadResult
+    concurrency: ConcurrencyResult
+    sequence: SequenceResult
+    flagged: bool
+
+
+def _analyze_function(
+    func: A.FuncDef,
+    func_names: Set[str],
+    collective_funcs: Set[str],
+    word: Word,
+    precision: str,
+    call_stmts: Optional[List[A.ExprStmt]] = None,
+    prebuilt: Optional[Tuple[CFG, Dict[int, int]]] = None,
+) -> FunctionArtifacts:
+    """Run all per-function phases for one function."""
+    if prebuilt is not None:
+        cfg, ast_block = prebuilt
+    else:
+        cfg, ast_block = build_cfg(func, func_names)
+    info = compute_words(func, word)
+    sites = collect_sites(func, collective_funcs, call_stmts)
+    mono = analyze_monothread(func, info, sites)
+    conc = analyze_concurrency(func, info, sites)
+    seq = analyze_sequence(func.name, cfg, collective_funcs, precision)
+    flagged = bool(
+        mono.multithreaded_sites or conc.concurrent_pairs or seq.conditionals
+    )
+    return FunctionArtifacts(
+        func=func, cfg=cfg, ast_block=ast_block, word_info=info,
+        sites=sites, monothread=mono, concurrency=conc, sequence=seq,
+        flagged=flagged,
+    )
+
+
+def _assemble(
+    program: A.Program,
+    index: ProgramIndex,
+    collective_funcs: Set[str],
+    artifacts: Dict[str, FunctionArtifacts],
+    precision: str,
+    instrument_all: bool,
+    requested: Optional[ThreadLevel],
+) -> ProgramAnalysis:
+    """Program-level synthesis: diagnostics bag, check groups, thread-level
+    comparison, and the selective instrumentation plan.
+
+    Deterministic: iterates ``program.funcs`` in source order, so group
+    numbering and diagnostic order are identical however the per-function
+    artifacts were produced (serial, cached, or parallel)."""
     diagnostics = DiagnosticBag()
-    index = index_program(program)
-    collective_funcs = collective_call_graph(program, index)
     functions: Dict[str, FunctionAnalysis] = {}
     group_counter = 0
     group_kinds: Dict[int, str] = {}
 
-    func_names = {f.name for f in program.funcs}
     for func in program.funcs:
-        if cfgs is not None and func.name in cfgs:
-            cfg, ast_block = cfgs[func.name]
-        else:
-            cfg, ast_block = build_cfg(func, func_names)
-        info = compute_words(func, initial_words.get(func.name, EMPTY))
-        sites = collect_sites(func, collective_funcs,
-                              index.call_stmts.get(func.name))
-        mono = analyze_monothread(func, info, sites)
-        conc = analyze_concurrency(func, info, sites)
-        seq = analyze_sequence(func.name, cfg, collective_funcs, precision)
-
+        art = artifacts[func.name]
         fa = FunctionAnalysis(
-            func=func, cfg=cfg, ast_block=ast_block, word_info=info,
-            sites=sites, monothread=mono, concurrency=conc, sequence=seq,
-        )
-        fa.flagged = bool(
-            mono.multithreaded_sites or conc.concurrent_pairs or seq.conditionals
+            func=func, cfg=art.cfg, ast_block=art.ast_block,
+            word_info=art.word_info, sites=art.sites,
+            monothread=art.monothread, concurrency=art.concurrency,
+            sequence=art.sequence, flagged=art.flagged,
         )
 
         # Check-group assignment: one group per multithreaded site, one per
         # concurrency component.
-        for site in mono.multithreaded_sites:
+        for site in art.monothread.multithreaded_sites:
             group_counter += 1
             group_kinds[group_counter] = "multithread"
             fa.check_groups.setdefault(site.uid, []).append(group_counter)
             fa.multithreaded_sites.add(site.uid)
         component_group: Dict[int, int] = {}
-        for site_uid, root in conc.groups.items():
+        for site_uid, root in art.concurrency.groups.items():
             if root not in component_group:
                 group_counter += 1
                 group_kinds[group_counter] = "concurrent"
                 component_group[root] = group_counter
             fa.check_groups.setdefault(site_uid, []).append(component_group[root])
 
-        diagnostics.extend(mono.diagnostics)
-        diagnostics.extend(conc.diagnostics)
-        diagnostics.extend(seq.diagnostics)
+        diagnostics.extend(art.monothread.diagnostics)
+        diagnostics.extend(art.concurrency.diagnostics)
+        diagnostics.extend(art.sequence.diagnostics)
         functions[func.name] = fa
 
     # Thread-level comparison against the requested level.
-    requested = _find_requested_level(index)
     if requested is not None:
         for name, fa in functions.items():
             needed = fa.monothread.max_required_level
@@ -241,3 +278,44 @@ def analyze_program(
         collective_funcs=collective_funcs, requested_level=requested,
         precision=precision, group_kinds=group_kinds,
     )
+
+
+def analyze_program(
+    program: A.Program,
+    initial_words: Optional[Dict[str, Word]] = None,
+    precision: str = "paper",
+    instrument_all: bool = False,
+    cfgs: Optional[Dict[str, tuple]] = None,
+) -> ProgramAnalysis:
+    """Run the full static analysis (one-shot, no caching).
+
+    Parameters
+    ----------
+    initial_words:
+        Per-function initial parallelism word (the paper's initial-level
+        option).  Functions default to the empty (monothreaded) word.
+    precision:
+        Passed to phase 3 (``"paper"`` or ``"counting"``).
+    instrument_all:
+        Ablation switch: plan CC/ENTER checks for *every* collective of every
+        function, regardless of the static verdict (blanket instrumentation
+        baseline for the selective-instrumentation ablation).
+    cfgs:
+        Pre-built CFGs (``{name: (cfg, ast_block)}``) from the compiler's
+        middle end; PARCOACH reuses them instead of rebuilding (the paper's
+        pass works directly on GCC's CFG).
+    """
+    initial_words = initial_words or {}
+    index = index_program(program)
+    collective_funcs = collective_call_graph(program, index)
+    func_names = {f.name for f in program.funcs}
+    artifacts: Dict[str, FunctionArtifacts] = {}
+    for func in program.funcs:
+        prebuilt = cfgs.get(func.name) if cfgs is not None else None
+        artifacts[func.name] = _analyze_function(
+            func, func_names, collective_funcs,
+            initial_words.get(func.name, EMPTY), precision,
+            index.call_stmts.get(func.name), prebuilt,
+        )
+    return _assemble(program, index, collective_funcs, artifacts,
+                     precision, instrument_all, _find_requested_level(index))

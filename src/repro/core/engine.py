@@ -1,0 +1,408 @@
+"""Memoized + parallel batch analysis engine.
+
+Batch workloads (the errors gallery, the EPCC suite, `parcoach batch`, the
+compile pipeline run once per mode) re-analyze structurally identical
+functions over and over.  :class:`AnalysisEngine` removes that redundancy:
+
+* **Memoization** — per-function artifacts are cached under a *structural
+  fingerprint* of the function AST (type/field/position-sensitive, uid-
+  insensitive), plus everything else the per-function pipeline depends on:
+  the initial parallelism word, the phase-3 precision, and the function's
+  calls that resolve to user / collective functions.  A re-parse of the same
+  source hits the cache; the uid-keyed artifacts are *remapped* onto the new
+  AST by walking both trees in lock-step (identical fingerprint ⇒ identical
+  shape ⇒ the pre-order walks pair up 1:1).
+
+* **Parallel fan-out** — the per-function phases are independent, so cache
+  misses can be analyzed in a process pool (``jobs > 1``).  Results are
+  merged back in program order, which keeps diagnostics, check-group
+  numbering, and the instrumentation plan byte-identical to a serial run.
+
+Caveats (by design):
+
+* Analyzed ASTs are treated as immutable.  The one sanctioned in-place
+  mutator, ``instrument_program(..., in_place=True)``, bumps a
+  ``structure_version`` marker on every function it rewrites; the engine
+  checks the marker in O(1) and re-analyzes instead of serving stale
+  artifacts.  Other out-of-band AST mutation is undefined behaviour.
+* Cached diagnostics are shared objects.  Their rendered text embeds the
+  parallelism-word region ids of the *first* analyzed instance; a remapped
+  hit reuses that text (semantically identical — region ids are arbitrary
+  internal labels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..minilang import ast_nodes as A
+from ..parallelism import EMPTY, Word, WordInfo
+from ..parallelism.word import P, S
+from .concurrency import ConcurrencyResult
+from .driver import (
+    FunctionArtifacts,
+    ProgramAnalysis,
+    _analyze_function,
+    _assemble,
+    _find_requested_level,
+)
+from .monothread import MonothreadResult
+from .sites import (
+    CollectiveSite,
+    ProgramIndex,
+    collective_call_graph,
+    index_program,
+)
+
+
+def ast_fingerprint(func: A.FuncDef) -> str:
+    """Structural hash of a function AST.
+
+    Dataclass ``repr`` recursively serializes every node with its fields and
+    ``line``/``col`` but *excludes* ``uid`` (declared ``repr=False``), so two
+    byte-equal re-parses of the same source share a fingerprint while any
+    structural or positional difference changes it."""
+    return hashlib.sha256(repr(func).encode("utf-8")).hexdigest()
+
+
+#: Cache key: fingerprint + everything else `_analyze_function` reads.
+_Key = Tuple[str, Word, str, Tuple[str, ...], Tuple[str, ...]]
+
+
+@dataclass
+class EngineStats:
+    """Counters exposed by :meth:`AnalysisEngine.cache_info`."""
+
+    programs: int = 0
+    functions: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Hits served by remapping artifacts onto a re-parsed (different) AST.
+    remaps: int = 0
+    #: Functions analyzed in worker processes.
+    parallel_tasks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "programs": self.programs,
+            "functions": self.functions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "remaps": self.remaps,
+            "parallel_tasks": self.parallel_tasks,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _CacheEntry:
+    artifacts: FunctionArtifacts
+    #: `structure_version` of `artifacts.func` at analysis time.  In-place
+    #: instrumentation bumps the version, so a mutated cache source is
+    #: detected in O(1) instead of being served as stale artifacts.
+    version: int
+    key: _Key
+
+
+@dataclass
+class _ProgramMemo:
+    """Cached program-level facts (index, call graph, requested level) for
+    the identity fast path — valid while the program's function list and the
+    structure versions of all its functions are unchanged."""
+
+    program: A.Program
+    funcs: Tuple[A.FuncDef, ...]
+    versions: Tuple[int, ...]
+    index: ProgramIndex
+    collective_funcs: set
+    func_names: set
+    requested: object
+
+
+def _version(func: A.FuncDef) -> int:
+    return getattr(func, "structure_version", 0)
+
+
+#: Bounds for the id-keyed identity/program memos.  They only pay off when
+#: the *same object* is re-analyzed, so entries from one-shot parses (e.g.
+#: `parcoach batch`, which re-parses per file) are dead weight — evict
+#: oldest-first instead of pinning every AST ever seen for the engine's
+#: lifetime.
+_IDENTITY_MEMO_LIMIT = 4096
+_PROGRAM_MEMO_LIMIT = 64
+
+
+def _evict_oldest(memo: Dict, limit: int) -> None:
+    while len(memo) > limit:
+        memo.pop(next(iter(memo)))
+
+
+def _remap_word(word: Word, uid_map: Dict[int, int]) -> Word:
+    """Rewrite the region ids inside a parallelism word onto new AST uids."""
+    out = []
+    for token in word:
+        if isinstance(token, P):
+            out.append(P(uid_map.get(token.region_id, token.region_id)))
+        elif isinstance(token, S):
+            out.append(S(uid_map.get(token.region_id, token.region_id), token.kind))
+        else:
+            out.append(token)
+    return tuple(out)
+
+
+def _remap_artifacts(entry: _CacheEntry,
+                     new_func: A.FuncDef) -> Optional[FunctionArtifacts]:
+    """Transplant cached artifacts onto a structurally identical AST.
+
+    Equal fingerprints guarantee equal tree shape, so the pre-order walks of
+    the cached and the new function pair up node-for-node; every uid-keyed
+    map is rewritten through that pairing.  The CFG (keyed by block ids, not
+    uids) and the phase-3 result ride along unchanged — including the
+    dominator trees already cached on the CFG.  Returns ``None`` when the
+    shapes do not match after all (mutated cache source): caller re-analyzes.
+    """
+    old = entry.artifacts
+    old_nodes = list(old.func.walk())
+    new_nodes = list(new_func.walk())
+    if len(old_nodes) != len(new_nodes):
+        return None
+    node_map: Dict[int, A.Node] = {}
+    uid_map: Dict[int, int] = {}
+    for o, n in zip(old_nodes, new_nodes):
+        if type(o) is not type(n):
+            return None
+        node_map[o.uid] = n
+        uid_map[o.uid] = n.uid
+
+    sites: List[CollectiveSite] = []
+    for s in old.sites:
+        stmt = node_map[s.stmt.uid]
+        assert isinstance(stmt, A.ExprStmt)
+        sites.append(CollectiveSite(stmt=stmt, call=stmt.expr,  # type: ignore[arg-type]
+                                    kind=s.kind, name=s.name, line=s.line))
+    site_by_old_uid = {o.uid: new for o, new in zip(old.sites, sites)}
+
+    mono = MonothreadResult(
+        multithreaded_sites=[site_by_old_uid[s.uid]
+                             for s in old.monothread.multithreaded_sites],
+        sipw_uids={uid_map[u] for u in old.monothread.sipw_uids},
+        required_levels={uid_map[k]: v
+                         for k, v in old.monothread.required_levels.items()},
+        diagnostics=old.monothread.diagnostics,
+    )
+    conc = ConcurrencyResult(
+        concurrent_pairs=[(uid_map[a], uid_map[b])
+                          for a, b in old.concurrency.concurrent_pairs],
+        scc_uids={uid_map[u] for u in old.concurrency.scc_uids},
+        groups={uid_map[k]: uid_map[v]
+                for k, v in old.concurrency.groups.items()},
+        diagnostics=old.concurrency.diagnostics,
+    )
+    wi = old.word_info
+    word_info = WordInfo(
+        words={uid_map[k]: _remap_word(w, uid_map) for k, w in wi.words.items()},
+        enclosing={uid_map[k]: tuple(uid_map[e] for e in v)
+                   for k, v in wi.enclosing.items()},
+        construct_kinds={uid_map[k]: v for k, v in wi.construct_kinds.items()},
+        construct_nodes={uid_map[k]: node_map[k] for k in wi.construct_nodes},
+    )
+    return FunctionArtifacts(
+        func=new_func, cfg=old.cfg,
+        ast_block={uid_map[k]: v for k, v in old.ast_block.items()},
+        word_info=word_info, sites=sites, monothread=mono, concurrency=conc,
+        sequence=old.sequence, flagged=old.flagged,
+    )
+
+
+def _analyze_function_task(payload) -> FunctionArtifacts:
+    """Process-pool entry point (top-level so it pickles)."""
+    func, func_names, collective_funcs, word, precision, call_stmts = payload
+    return _analyze_function(func, func_names, collective_funcs, word,
+                             precision, call_stmts)
+
+
+class AnalysisEngine:
+    """Stateful batch front end over :func:`repro.core.driver.analyze_program`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache-miss fan-out.  ``1`` (default) analyzes
+        in-process; ``N > 1`` spins up a process pool per :meth:`analyze`
+        call when at least two functions missed the cache.  Results are
+        deterministic regardless of ``jobs``.
+    cache:
+        Disable to make the engine a plain driver (no fingerprinting cost);
+        :func:`analyze_program` uses exactly that configuration.
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache_enabled = bool(cache)
+        self.stats = EngineStats()
+        self._cache: Dict[_Key, _CacheEntry] = {}
+        #: id(func) -> (func, structure_version, fingerprint): skips hashing
+        #: when the very same AST object is re-analyzed (warm batch loops).
+        self._identity: Dict[int, Tuple[A.FuncDef, int, str]] = {}
+        #: id(program) -> memoized program-level facts.
+        self._programs: Dict[int, _ProgramMemo] = {}
+
+    # -- cache management ------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._identity.clear()
+        self._programs.clear()
+
+    def cache_info(self) -> Dict[str, float]:
+        info = self.stats.as_dict()
+        info["entries"] = len(self._cache)
+        return info
+
+    # -- analysis --------------------------------------------------------------
+
+    def _fingerprint_for(self, func: A.FuncDef) -> str:
+        version = _version(func)
+        ident = self._identity.get(id(func))
+        if ident is not None:
+            known_func, known_version, fp = ident
+            if known_func is func and known_version == version:
+                return fp
+        fp = ast_fingerprint(func)
+        self._identity[id(func)] = (func, version, fp)
+        _evict_oldest(self._identity, _IDENTITY_MEMO_LIMIT)
+        return fp
+
+    def _program_facts(self, program: A.Program) -> _ProgramMemo:
+        funcs = tuple(program.funcs)
+        versions = tuple(_version(f) for f in funcs)
+        memo = self._programs.get(id(program))
+        if (memo is not None and memo.program is program
+                and len(memo.funcs) == len(funcs)
+                and all(a is b for a, b in zip(memo.funcs, funcs))
+                and memo.versions == versions):
+            return memo
+        index = index_program(program)
+        memo = _ProgramMemo(
+            program=program, funcs=funcs, versions=versions, index=index,
+            collective_funcs=collective_call_graph(program, index),
+            func_names={f.name for f in funcs},
+            requested=_find_requested_level(index),
+        )
+        self._programs[id(program)] = memo
+        _evict_oldest(self._programs, _PROGRAM_MEMO_LIMIT)
+        return memo
+
+    def analyze(
+        self,
+        program: A.Program,
+        initial_words: Optional[Dict[str, Word]] = None,
+        precision: str = "paper",
+        instrument_all: bool = False,
+        cfgs: Optional[Dict[str, tuple]] = None,
+    ) -> ProgramAnalysis:
+        """Drop-in replacement for :func:`analyze_program` with memoization
+        and optional parallel fan-out.  Same signature, same output."""
+        initial_words = initial_words or {}
+        self.stats.programs += 1
+        memo = self._program_facts(program)
+        index, collective_funcs = memo.index, memo.collective_funcs
+        func_names = memo.func_names
+
+        artifacts: Dict[str, FunctionArtifacts] = {}
+        #: (func, key, word, call_stmts, prebuilt) for every cache miss.
+        pending: List[Tuple[A.FuncDef, Optional[_Key], Word,
+                            Optional[List[A.ExprStmt]],
+                            Optional[tuple]]] = []
+        for func in program.funcs:
+            self.stats.functions += 1
+            word = initial_words.get(func.name, EMPTY)
+            call_stmts = index.call_stmts.get(func.name)
+            prebuilt = cfgs.get(func.name) if cfgs is not None else None
+            if not self.cache_enabled:
+                pending.append((func, None, word, call_stmts, prebuilt))
+                continue
+            if prebuilt is not None:
+                # A caller-supplied CFG is not part of the fingerprint, so
+                # artifacts built on it must neither be cached nor satisfied
+                # from cache — analyze this function as-is.
+                pending.append((func, None, word, call_stmts, prebuilt))
+                continue
+            called_names = {c.name for c in index.calls.get(func.name, ())}
+            key: _Key = (
+                self._fingerprint_for(func), word, precision,
+                tuple(sorted(called_names & func_names)),
+                tuple(sorted(called_names & collective_funcs)),
+            )
+            entry = self._cache.get(key)
+            if entry is not None and _version(entry.artifacts.func) == entry.version:
+                if entry.artifacts.func is func:
+                    self.stats.hits += 1
+                    artifacts[func.name] = entry.artifacts
+                    continue
+                remapped = _remap_artifacts(entry, func)
+                if remapped is not None:
+                    self.stats.hits += 1
+                    self.stats.remaps += 1
+                    artifacts[func.name] = remapped
+                    continue
+            if entry is not None:
+                # Stale: the cached AST was mutated after analysis.
+                del self._cache[key]
+            self.stats.misses += 1
+            pending.append((func, key, word, call_stmts, prebuilt))
+
+        self._run_pending(pending, func_names, collective_funcs,
+                          precision, artifacts)
+        return _assemble(program, index, collective_funcs, artifacts,
+                         precision, instrument_all, memo.requested)
+
+    def _run_pending(self, pending, func_names, collective_funcs,
+                     precision, artifacts) -> None:
+        """Analyze the cache misses — in a process pool when profitable."""
+        pooled = [p for p in pending if p[4] is None]
+        use_pool = self.jobs > 1 and len(pooled) > 1
+        results: Dict[int, FunctionArtifacts] = {}
+        if use_pool:
+            payloads = [
+                (func, func_names, collective_funcs, word, precision, call_stmts)
+                for func, _key, word, call_stmts, _pre in pooled
+            ]
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    for (func, *_rest), art in zip(
+                            pooled, pool.map(_analyze_function_task, payloads)):
+                        results[id(func)] = art
+            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                # Pool infrastructure failure (no fork/spawn, unpicklable
+                # payload, worker killed): fall back to the serial path
+                # below.  Genuine analysis errors raised by a worker are
+                # NOT caught — they propagate exactly as in a serial run.
+                results.clear()
+            else:
+                self.stats.parallel_tasks += len(results)
+
+        for func, key, word, call_stmts, prebuilt in pending:
+            art = results.get(id(func))
+            if art is None:
+                art = _analyze_function(func, func_names, collective_funcs,
+                                        word, precision, call_stmts, prebuilt)
+            else:
+                # Workers return a pickled copy of the AST; re-anchor the
+                # artifacts on the caller's objects (uids are preserved by
+                # pickling, so every uid-keyed map stays valid).
+                art.func = func
+            artifacts[func.name] = art
+            if self.cache_enabled and key is not None:
+                self._cache[key] = _CacheEntry(
+                    artifacts=art, version=_version(art.func), key=key)

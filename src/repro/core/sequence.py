@@ -66,11 +66,12 @@ def _collective_points(cfg: CFG, collective_funcs: Set[str]) -> Dict[str, List[i
 
 
 def _possible_counts(cfg: CFG, target_blocks: Set[int],
-                     loop_nodes: Set[int]) -> Dict[int, FrozenSet[int]]:
+                     loop_nodes: Set[int],
+                     back: FrozenSet[Tuple[int, int]]) -> Dict[int, FrozenSet[int]]:
     """Possible number of executions of ``target_blocks`` from each node to
-    exit, on the back-edge-free graph; loop-tainted nodes get ``_UNKNOWN``."""
-    dom = dominators(cfg)
-    back = set(find_back_edges(cfg, dom))
+    exit, on the back-edge-free graph (``back`` holds the back edges,
+    computed once per function by the caller); loop-tainted nodes get
+    ``_UNKNOWN``."""
     # Reverse topological order on the DAG (exit first).
     order = cfg.reverse_postorder()
     counts: Dict[int, FrozenSet[int]] = {}
@@ -120,9 +121,14 @@ def analyze_sequence(func_name: str, cfg: CFG,
 
     pdom = post_dominators(cfg)
     loop_nodes: Set[int] = set()
+    # Dominators and back edges depend only on the CFG — compute them once
+    # per function and thread them through; the counting path used to redo
+    # both for every collective name.
+    back_edges: FrozenSet[Tuple[int, int]] = frozenset()
     if precision == "counting":
         dom = dominators(cfg)
-        for src, header in find_back_edges(cfg, dom):
+        back_edges = frozenset(find_back_edges(cfg, dom))
+        for src, header in back_edges:
             body = {header, src}
             stack = [src]
             while stack:
@@ -140,7 +146,7 @@ def analyze_sequence(func_name: str, cfg: CFG,
         divergence = pdom.iterated_frontier(call_blocks)
         suppressed: Set[int] = set()
         if precision == "counting" and divergence:
-            counts = _possible_counts(cfg, set(call_blocks), loop_nodes)
+            counts = _possible_counts(cfg, set(call_blocks), loop_nodes, back_edges)
             for cond in sorted(divergence):
                 succ_counts = [counts.get(s, _UNKNOWN) for s in cfg.successors(cond)]
                 if (

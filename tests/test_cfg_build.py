@@ -26,7 +26,7 @@ def test_entry_and_exit_unique():
     cfg = cfg_of("void f() { }")
     assert len(cfg.blocks_of_kind(BlockKind.ENTRY)) == 1
     assert len(cfg.blocks_of_kind(BlockKind.EXIT)) == 1
-    assert cfg.successors(cfg.exit_id) == []
+    assert list(cfg.successors(cfg.exit_id)) == []
 
 
 def test_collective_gets_own_block():
@@ -192,3 +192,41 @@ def test_dot_export_contains_all_blocks():
     for bid in cfg.blocks:
         assert f"n{bid} " in dot or f"n{bid} ->" in dot or f"n{bid} [" in dot
     assert dot.startswith("digraph")
+
+
+def test_validate_reports_malformed_collective_block():
+    """A COLLECTIVE block must contain exactly one collective statement."""
+    from repro.cfg import CFG
+    from repro.minilang import ast_nodes as A
+
+    cfg = CFG("bad")
+    entry = cfg.new_block(BlockKind.ENTRY)
+    bad = cfg.new_block(BlockKind.COLLECTIVE, collective="MPI_Barrier")
+    exit_ = cfg.new_block(BlockKind.EXIT)
+    cfg.entry_id, cfg.exit_id = entry.id, exit_.id
+    cfg.add_edge(entry.id, bad.id)
+    cfg.add_edge(bad.id, exit_.id)
+
+    # Empty collective block: 0 collective statements.
+    problems = cfg.validate()
+    assert any("contains 0 collective statements" in p for p in problems)
+
+    # Two collective calls crammed into one block: also malformed.
+    call = lambda: A.ExprStmt(expr=A.Call(name="MPI_Barrier", args=[]))
+    bad.stmts.extend([call(), call()])
+    problems = cfg.validate()
+    assert any("contains 2 collective statements" in p for p in problems)
+
+    # Non-collective filler does not count toward the collective tally.
+    bad.stmts[:] = [call(), A.ExprStmt(expr=A.Call(name="print", args=[]))]
+    assert not any("collective statements" in p for p in cfg.validate())
+
+    # A missing collective name is still reported separately.
+    bad.collective = None
+    assert any("without collective name" in p for p in cfg.validate())
+
+
+def test_well_formed_collective_blocks_validate_clean():
+    cfg = cfg_of("void f() { MPI_Barrier(); MPI_Barrier(); }")
+    assert len(cfg.collective_blocks()) == 2
+    assert cfg.validate() == []

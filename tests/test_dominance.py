@@ -174,3 +174,152 @@ def test_frontier_matches_networkx(cfg):
     ours = dominators(cfg).dominance_frontier()
     for node in cfg.reachable_from_entry():
         assert ours.get(node, set()) == expected[node]
+
+
+# -- O(1) interval queries vs. the chain-walk oracle --------------------------------
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_interval_dominates_matches_chain_oracle(cfg):
+    """Property: the interval-numbered fast path agrees with the O(depth)
+    parent-chain walk on every node pair, in both directions."""
+    for tree in (dominators(cfg), post_dominators(cfg)):
+        nodes = list(cfg.blocks)
+        for a in nodes:
+            for b in nodes:
+                assert tree.dominates(a, b) == tree.dominates_via_chain(a, b), \
+                    (tree.post, a, b)
+
+
+def _parsed_cfg(src):
+    func = parse_function(src)
+    cfg, _ = build_cfg(func, set())
+    return cfg
+
+
+def test_interval_matches_chain_on_nested_loops():
+    cfg = _parsed_cfg("""
+void f(int n) {
+    for (int i = 0; i < n; i += 1) {
+        for (int j = 0; j < n; j += 1) {
+            if (j == 1) {
+                MPI_Barrier();
+            }
+            while (j < 3) {
+                j += 1;
+            }
+        }
+    }
+}
+""")
+    for tree in (dominators(cfg), post_dominators(cfg)):
+        for a in cfg.blocks:
+            for b in cfg.blocks:
+                assert tree.dominates(a, b) == tree.dominates_via_chain(a, b)
+
+
+def test_interval_handles_unreachable_blocks():
+    """Unreachable nodes dominate only themselves — same in both paths."""
+    cfg = CFG("unreach")
+    entry = cfg.new_block(BlockKind.ENTRY)
+    mid = cfg.new_block(BlockKind.NORMAL)
+    orphan = cfg.new_block(BlockKind.NORMAL)  # no incoming edges
+    exit_ = cfg.new_block(BlockKind.EXIT)
+    cfg.entry_id, cfg.exit_id = entry.id, exit_.id
+    cfg.add_edge(entry.id, mid.id)
+    cfg.add_edge(mid.id, exit_.id)
+    cfg.add_edge(orphan.id, exit_.id)  # reaches exit, unreachable from entry
+    dom = dominators(cfg)
+    assert dom.dominates(orphan.id, orphan.id)
+    assert not dom.dominates(entry.id, orphan.id)
+    assert not dom.dominates(orphan.id, exit_.id)
+    for a in cfg.blocks:
+        for b in cfg.blocks:
+            assert dom.dominates(a, b) == dom.dominates_via_chain(a, b)
+
+
+def test_interval_handles_virtual_exit_edges():
+    """Infinite loop: ensure_exit_reachable adds a virtual edge, and the
+    post-dominator fast path stays consistent with the oracle."""
+    cfg = CFG("inf")
+    entry = cfg.new_block(BlockKind.ENTRY)
+    head = cfg.new_block(BlockKind.NORMAL)
+    body = cfg.new_block(BlockKind.NORMAL)
+    exit_ = cfg.new_block(BlockKind.EXIT)
+    cfg.entry_id, cfg.exit_id = entry.id, exit_.id
+    cfg.add_edge(entry.id, head.id)
+    cfg.add_edge(head.id, body.id)
+    cfg.add_edge(body.id, head.id)  # no path to exit
+    added = cfg.ensure_exit_reachable()
+    # Deterministic smallest-id-first selection: entry first (it is stuck
+    # too — its only path leads into the loop), then the loop header.
+    assert added == 2
+    assert cfg.virtual_edges == {(entry.id, exit_.id), (head.id, exit_.id)}
+    pdom = post_dominators(cfg)
+    for a in cfg.blocks:
+        for b in cfg.blocks:
+            assert pdom.dominates(a, b) == pdom.dominates_via_chain(a, b)
+
+
+@st.composite
+def random_partial_cfg_builder(draw):
+    """A builder for CFGs where the exit may be unreachable from many nodes
+    (the spine deliberately stops one short of the exit)."""
+    n = draw(st.integers(4, 12))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 2), st.integers(1, n - 1)),
+        max_size=3 * n,
+    ))
+
+    def build() -> CFG:
+        cfg = CFG("partial")
+        blocks = [cfg.new_block(BlockKind.NORMAL) for _ in range(n)]
+        cfg.entry_id, cfg.exit_id = blocks[0].id, blocks[-1].id
+        blocks[0].kind = BlockKind.ENTRY
+        blocks[-1].kind = BlockKind.EXIT
+        for i in range(n - 2):
+            cfg.add_edge(blocks[i].id, blocks[i + 1].id)
+        for s, d in extra:
+            if s != d:
+                cfg.add_edge(blocks[s].id, blocks[d].id)
+        return cfg
+
+    return build
+
+
+def _ensure_exit_reachable_oracle(cfg: CFG) -> int:
+    """The seed's recompute-from-scratch loop, kept as the equivalence
+    oracle for the linear ensure_exit_reachable."""
+    added = 0
+    while True:
+        can_reach = cfg.can_reach_exit()
+        stuck = [bid for bid in cfg.blocks if bid not in can_reach]
+        if not stuck:
+            return added
+        reachable = cfg.reachable_from_entry()
+        candidates = [b for b in stuck if b in reachable] or stuck
+        cfg.add_edge(min(candidates), cfg.exit_id, virtual=True)
+        added += 1
+
+
+@given(random_partial_cfg_builder())
+@settings(max_examples=80, deadline=None)
+def test_ensure_exit_reachable_matches_quadratic_oracle(build):
+    fast, slow = build(), build()  # identical graphs, identical block ids
+    assert fast.ensure_exit_reachable() == _ensure_exit_reachable_oracle(slow)
+    assert fast.virtual_edges == slow.virtual_edges
+    assert set(fast.blocks) == fast.can_reach_exit()
+
+
+def test_frozen_cfg_returns_tuple_views():
+    func = parse_function("void f() { MPI_Barrier(); }")
+    cfg, _ = build_cfg(func, set())
+    assert cfg.frozen
+    succs = cfg.successors(cfg.entry_id)
+    assert isinstance(succs, tuple)
+    assert cfg.successors(cfg.entry_id) is succs  # zero-copy: same object
+    with pytest.raises(RuntimeError):
+        cfg.add_edge(cfg.entry_id, cfg.exit_id)
+    with pytest.raises(RuntimeError):
+        cfg.new_block(BlockKind.NORMAL)

@@ -1,0 +1,157 @@
+"""AnalysisEngine tests: cache correctness, remapping, invalidation,
+parallel determinism, and key discrimination."""
+
+import pytest
+
+from repro.bench import CASES, scale_suite
+from repro.core import (
+    AnalysisEngine,
+    analyze_program,
+    analysis_summary,
+    instrument_program,
+    render_report,
+)
+from repro.minilang.parser import parse_program
+from repro.minilang.pretty import pretty
+from repro.parallelism import parse_word
+
+
+def _diag_tuples(analysis):
+    return [
+        (d.code, d.function, d.message, d.collectives, d.conditionals, d.context)
+        for d in analysis.diagnostics
+    ]
+
+
+def test_warm_engine_identical_to_cold_across_gallery():
+    """Satellite acceptance: a warm engine returns diagnostics identical to a
+    cold run across the whole errors gallery."""
+    programs = {name: parse_program(case.source, name)
+                for name, case in CASES.items()}
+    cold = {name: analyze_program(p) for name, p in programs.items()}
+
+    engine = AnalysisEngine()
+    for _ in range(2):  # second pass is fully cache-hit
+        for name, p in programs.items():
+            warm = engine.analyze(p)
+            assert _diag_tuples(warm) == _diag_tuples(cold[name]), name
+            assert render_report(warm, verbose=True) == \
+                render_report(cold[name], verbose=True), name
+            assert analysis_summary(warm) == analysis_summary(cold[name]), name
+    n_funcs = sum(len(p.funcs) for p in programs.values())
+    assert engine.stats.hits == n_funcs  # second pass fully served by cache
+    assert engine.stats.misses == n_funcs
+
+
+def test_reparse_hit_remaps_onto_new_ast():
+    """A structurally identical re-parse must hit the cache and still drive
+    instrumentation of the *new* AST correctly."""
+    src = CASES["rank_dependent_bcast"].source
+    engine = AnalysisEngine()
+    p1 = parse_program(src, "x.mc")
+    p2 = parse_program(src, "x.mc")
+    a1 = engine.analyze(p1)
+    a2 = engine.analyze(p2)
+    assert engine.stats.remaps == 1
+    # Same instrumented source from both (uids remapped onto p2's nodes).
+    assert pretty(instrument_program(a1)[0]) == pretty(instrument_program(a2)[0])
+    ref = pretty(instrument_program(analyze_program(p2))[0])
+    assert pretty(instrument_program(a2)[0]) == ref
+    # The remapped FunctionAnalysis is anchored on p2, not p1.
+    assert a2.function("main").func is p2.funcs[0]
+    assert a2.function("main").sites[0].stmt in list(p2.funcs[0].walk())
+
+
+def test_in_place_instrumentation_invalidates_cache():
+    src = CASES["rank_dependent_bcast"].source
+    p = parse_program(src, "x.mc")
+    engine = AnalysisEngine()
+    a = engine.analyze(p)
+    instrument_program(a, in_place=True)  # mutates p's AST
+    again = engine.analyze(p)
+    fresh = analyze_program(p)
+    assert _diag_tuples(again) == _diag_tuples(fresh)
+    assert render_report(again) == render_report(fresh)
+
+
+def test_cache_key_discriminates_precision_and_word():
+    src = CASES["balanced_if_fp"].source  # paper warns, counting is clean
+    p = parse_program(src, "x.mc")
+    engine = AnalysisEngine()
+    paper = engine.analyze(p, precision="paper")
+    counting = engine.analyze(p, precision="counting")
+    assert len(paper.diagnostics) == 1
+    assert len(counting.diagnostics) == 0
+    assert engine.stats.misses == 2  # no cross-precision hit
+
+    word = parse_word("P1")
+    ctx = engine.analyze(p, precision="paper",
+                         initial_words={f.name: word for f in p.funcs})
+    assert engine.stats.misses == 3  # initial word is part of the key
+    assert _diag_tuples(ctx) != _diag_tuples(paper)
+
+
+def test_cache_key_tracks_collective_call_graph():
+    """Identical function text analyzes differently when a callee becomes
+    collective — the key must include the resolved call sets."""
+    caller = "void run() {\n    helper();\n}\n"
+    clean = caller + "\nvoid helper() {\n    int x = 1;\n}\n"
+    dirty = caller + "\nvoid helper() {\n    MPI_Barrier();\n}\n"
+    engine = AnalysisEngine()
+    a_clean = engine.analyze(parse_program(clean, "a.mc"))
+    a_dirty = engine.analyze(parse_program(dirty, "b.mc"))
+    # `run` is byte-identical in both programs but must not share artifacts.
+    assert not a_clean.function("run").sites
+    assert a_dirty.function("run").sites
+    assert a_dirty.collective_funcs == {"run", "helper"}
+
+
+def test_parallel_engine_matches_serial():
+    src = scale_suite()["S"]
+    p = parse_program(src, "s.mc")
+    serial = analyze_program(p)
+    engine = AnalysisEngine(jobs=2, cache=False)
+    parallel = engine.analyze(p)
+    assert engine.stats.parallel_tasks == len(p.funcs)
+    assert _diag_tuples(parallel) == _diag_tuples(serial)
+    assert render_report(parallel, verbose=True) == render_report(serial, verbose=True)
+    assert pretty(instrument_program(parallel)[0]) == \
+        pretty(instrument_program(serial)[0])
+
+
+def test_clear_cache_and_stats():
+    src = CASES["clean_masteronly"].source
+    p = parse_program(src, "x.mc")
+    engine = AnalysisEngine()
+    engine.analyze(p)
+    engine.analyze(p)
+    info = engine.cache_info()
+    assert info["entries"] == 1
+    assert info["hits"] == 1 and info["misses"] == 1
+    assert 0.0 < info["hit_rate"] < 1.0
+    engine.clear_cache()
+    assert engine.cache_info()["entries"] == 0
+    engine.analyze(p)
+    assert engine.stats.misses == 2
+
+
+def test_engine_matches_driver_on_prebuilt_cfgs():
+    from repro.opt import run_middle_end
+
+    src = CASES["mismatch_through_call"].source
+    p = parse_program(src, "x.mc")
+    middle = run_middle_end(p)
+    ref = analyze_program(p, cfgs=middle.cfgs)
+    engine = AnalysisEngine()
+    got = engine.analyze(p, cfgs=middle.cfgs)
+    assert _diag_tuples(got) == _diag_tuples(ref)
+    assert got.function("main").cfg is middle.cfgs["main"][0]
+    # Prebuilt-CFG artifacts bypass the cache entirely: they are neither
+    # stored (a later cfgs-free analyze rebuilds its own CFG) nor served
+    # from it (a fresh cfgs= call always uses the supplied CFG).
+    assert engine.cache_info()["entries"] == 0
+    own = engine.analyze(p)
+    assert own.function("main").cfg is not middle.cfgs["main"][0]
+    via_cache = engine.analyze(p, cfgs=middle.cfgs)
+    assert via_cache.function("main").cfg is middle.cfgs["main"][0]
+    assert _diag_tuples(own) == _diag_tuples(via_cache) == _diag_tuples(ref)
