@@ -1,0 +1,82 @@
+"""Exploration throughput benchmark — schedules per second.
+
+Each round executes a fixed batch of deterministic scheduled runs over the
+seeded interleaving-dependent gallery programs; ``extra_info["schedules"]``
+lets ``export_bench.py`` derive ``schedules_per_sec`` into
+``BENCH_scale.json`` so the exploration engine's throughput is tracked PR
+over PR alongside the static-analysis numbers.
+
+Configs:
+
+* ``explore_dfs``     — bounded-preemption DFS (the ``parcoach explore``
+  default for small programs);
+* ``explore_random``  — seeded-random sampling (the large-program mode);
+* ``explore_replay``  — straight-line scripted replay of one recorded
+  trace (the floor: scheduling overhead without exploration bookkeeping).
+"""
+
+import pytest
+
+from repro.bench.errors_gallery import CASES
+from repro.explore import (
+    ExploreConfig,
+    RandomStrategy,
+    ScheduleTrace,
+    explore_config,
+    replay,
+    run_scheduled,
+)
+from repro.minilang.parser import parse_program
+
+CASE = "racy_single_worker_allreduce"
+SCHEDULES = 16
+CFG = ExploreConfig(nprocs=2, num_threads=2)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_program(CASES[CASE].source, CASE)
+
+
+def test_explore_dfs_rate(benchmark, program):
+    benchmark.extra_info["size"] = CASE
+    benchmark.extra_info["config"] = "explore_dfs"
+    benchmark.extra_info["schedules"] = SCHEDULES
+
+    def go():
+        return explore_config(program, CFG, strategy="dfs", runs=SCHEDULES,
+                              preemptions=1, minimize=False)
+
+    report = benchmark(go)
+    assert report.schedules == SCHEDULES
+    assert report.failed > 0  # DFS reaches failing interleavings
+
+
+def test_explore_random_rate(benchmark, program):
+    benchmark.extra_info["size"] = CASE
+    benchmark.extra_info["config"] = "explore_random"
+    benchmark.extra_info["schedules"] = SCHEDULES
+
+    def go():
+        return explore_config(program, CFG, strategy="random", runs=SCHEDULES,
+                              preemptions=3, seed=0, minimize=False)
+
+    report = benchmark(go)
+    assert report.schedules == SCHEDULES
+
+
+def test_explore_replay_rate(benchmark, program):
+    _, trace = run_scheduled(program, CFG, RandomStrategy(seed=0))
+    trace = ScheduleTrace.from_dict(trace.to_dict())  # serialized-path cost
+
+    benchmark.extra_info["size"] = CASE
+    benchmark.extra_info["config"] = "explore_replay"
+    benchmark.extra_info["schedules"] = SCHEDULES
+
+    def go():
+        for _ in range(SCHEDULES):
+            result, _new, divergences = replay(program, trace)
+            assert divergences == 0
+        return result
+
+    benchmark(go)

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Export the scale-benchmark results to ``BENCH_scale.json``.
+"""Export the scale + exploration benchmark results to ``BENCH_scale.json``.
 
-Runs ``benchmarks/bench_scale.py`` under pytest-benchmark, then compacts the
-raw report into a small, diff-friendly JSON checked into the repository so
-the performance trajectory is tracked PR over PR::
+Runs ``benchmarks/bench_scale.py`` and ``benchmarks/bench_explore.py`` under
+pytest-benchmark, then compacts the raw report into a small, diff-friendly
+JSON checked into the repository so the performance trajectory is tracked PR
+over PR::
 
     PYTHONPATH=src python benchmarks/export_bench.py [-o BENCH_scale.json]
 
@@ -19,7 +20,8 @@ The compact schema::
       ],
       "derived": {
         "warm_speedup": {"XL": 39.5, ...},     # cold mean / warm mean
-        "dominates_depth_ratio": 1.1           # deepest / shallowest query
+        "dominates_depth_ratio": 1.1,          # deepest / shallowest query
+        "schedules_per_sec": {"explore_dfs": 410.2, ...}  # exploration rate
       }
     }
 """
@@ -46,6 +48,7 @@ def run_benchmarks(raw_json: str) -> None:
     cmd = [
         sys.executable, "-m", "pytest",
         os.path.join(HERE, "bench_scale.py"),
+        os.path.join(HERE, "bench_explore.py"),
         "-q", "--benchmark-only", f"--benchmark-json={raw_json}",
     ]
     subprocess.run(cmd, check=True, cwd=REPO, env=env)
@@ -54,6 +57,7 @@ def run_benchmarks(raw_json: str) -> None:
 def compact(raw: dict) -> dict:
     benchmarks = []
     by_config: dict = {}
+    schedule_rates: dict = {}
     for bench in raw.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         stats = bench.get("stats", {})
@@ -67,6 +71,10 @@ def compact(raw: dict) -> dict:
         }
         benchmarks.append(entry)
         by_config.setdefault(entry["config"], {})[entry["size"]] = entry["mean_s"]
+        schedules = extra.get("schedules")
+        if schedules and entry["mean_s"] > 0:
+            schedule_rates[entry["config"]] = round(
+                schedules / entry["mean_s"], 1)
 
     derived: dict = {}
     cold = by_config.get("cold", {})
@@ -83,6 +91,8 @@ def compact(raw: dict) -> dict:
         if dom[depths[0]] > 0:
             derived["dominates_depth_ratio"] = round(
                 dom[depths[-1]] / dom[depths[0]], 2)
+    if schedule_rates:
+        derived["schedules_per_sec"] = schedule_rates
     return {
         "suite": "bench_scale",
         "python": platform.python_version(),

@@ -5,7 +5,8 @@ from functools import lru_cache
 from typing import Dict
 
 from .epcc import make_epcc_suite
-from .errors_gallery import CASES, ErrorCase, correct_cases, erroneous_cases
+from .errors_gallery import (CASES, ErrorCase, correct_cases,
+                             erroneous_cases, schedule_sensitive_cases)
 from .hera import make_hera
 from .nas_mz import make_bt_mz, make_lu_mz, make_sp_mz
 from .pipeline import (
@@ -40,6 +41,7 @@ __all__ = [
     "ErrorCase",
     "correct_cases",
     "erroneous_cases",
+    "schedule_sensitive_cases",
     "make_hera",
     "make_bt_mz",
     "make_lu_mz",

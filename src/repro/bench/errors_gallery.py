@@ -8,6 +8,14 @@ stops before the deadlock becomes unavoidable).
 Cases whose runtime outcome depends on thread scheduling list every
 acceptable error class and set ``deterministic=False``; tests then assert
 membership instead of equality.
+
+Cases that additionally set ``schedule_sensitive=True`` are the exploration
+seeds: their bug only manifests under *specific* interleavings, so a single
+run — threaded or default-scheduled — may legitimately come out clean.
+They are excluded from the correct/erroneous helpers (a bounded number of
+retries proves nothing either way) and exercised by ``parcoach explore``
+and ``tests/test_explore.py`` instead, which sweep the schedule space
+deterministically.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ class ErrorCase:
     deterministic: bool = True
     nprocs: int = 2
     num_threads: int = 2
+    #: Bug manifests only under specific interleavings: validated by
+    #: schedule exploration, not by repeated free-running runs.
+    schedule_sensitive: bool = False
 
 
 _CASES = []
@@ -435,6 +446,74 @@ void main() {
     deterministic=False,
 )
 
+# -- interleaving-dependent bugs (exploration seeds) ----------------------------------
+
+_case(
+    name="racy_single_worker_allreduce",
+    description="single nowait whose body only calls the collective when the "
+                "*worker* wins the claim: ranks whose claim winners differ "
+                "execute different collective sequences — invisible to any "
+                "single run where every rank schedules alike (the default), "
+                "found by schedule exploration flipping one rank's winner",
+    source="""
+void main() {
+    MPI_Init_thread(3);
+    float a = 1.0;
+    float b = 0.0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single nowait
+        {
+            if (omp_get_thread_num() == 1) {
+                MPI_Allreduce(a, b, "sum");
+            }
+        }
+    }
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MISMATCH,),
+    runtime_errors=(CollectiveMismatchError, DeadlockError),
+    raw_errors=(DeadlockError,),
+    deterministic=False,
+    schedule_sensitive=True,
+)
+
+_case(
+    name="racy_flag_guarded_barrier",
+    description="master-only collective racing a worker barrier: the worker "
+                "calls MPI_Barrier only while a shared 'done' flag is still "
+                "unset, so the bug (concurrent collectives in one rank, or a "
+                "cross-rank Bcast/Barrier round mismatch) appears on some "
+                "interleavings and vanishes on others",
+    source="""
+void main() {
+    MPI_Init_thread(3);
+    int x = 9;
+    int done = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        if (omp_get_thread_num() == 0) {
+            MPI_Bcast(x, 0);
+            done = 1;
+        }
+        else {
+            if (done == 0) {
+                MPI_Barrier();
+            }
+        }
+    }
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MISMATCH, ErrorCode.COLLECTIVE_MULTITHREADED),
+    runtime_errors=(ConcurrentCollectiveError, CollectiveMismatchError,
+                    DeadlockError, ThreadContextError),
+    raw_errors=(ConcurrentCollectiveError, DeadlockError),
+    deterministic=False,
+    schedule_sensitive=True,
+)
+
 # -- thread-level errors --------------------------------------------------------------
 
 _case(
@@ -487,8 +566,15 @@ CASES: Dict[str, ErrorCase] = {c.name: c for c in _CASES}
 
 
 def correct_cases() -> Dict[str, ErrorCase]:
-    return {n: c for n, c in CASES.items() if not c.runtime_errors and not c.raw_errors}
+    return {n: c for n, c in CASES.items()
+            if not c.runtime_errors and not c.raw_errors
+            and not c.schedule_sensitive}
 
 
 def erroneous_cases() -> Dict[str, ErrorCase]:
-    return {n: c for n, c in CASES.items() if c.runtime_errors or c.raw_errors}
+    return {n: c for n, c in CASES.items()
+            if (c.runtime_errors or c.raw_errors) and not c.schedule_sensitive}
+
+
+def schedule_sensitive_cases() -> Dict[str, ErrorCase]:
+    return {n: c for n, c in CASES.items() if c.schedule_sensitive}

@@ -13,6 +13,19 @@ Subcommands::
         emit the instrumented source
     parcoach run FILE [-np N] [-nt T] [--instrument] [--thread-level L]
         execute under the simulator, print outputs and the verdict
+    parcoach explore FILE [--strategy dfs|random] [--preemptions K]
+                          [--runs N] [--replay TRACE] [-np LIST] [-nt LIST]
+                          [--thread-level LIST] [--instrument] [--seed S]
+                          [--save-trace PATH] [--no-minimize]
+        deterministic schedule exploration: run the program under many
+        thread interleavings per (nprocs, num_threads, thread_level)
+        configuration — exhaustive DFS with a preemption bound, or
+        seeded-random sampling — and summarize the verdict of every
+        interleaving ("mismatch in 3/120 schedules").  The first failing
+        schedule is delta-debugged and saved as a compact JSON trace;
+        ``--replay TRACE`` re-executes a saved trace deterministically.
+        ``-np``/``-nt``/``--thread-level`` accept comma-separated lists and
+        are cross-producted.  Exit 1 when any schedule fails.
     parcoach cfg FILE FUNC [-o OUT.dot]
         dump one function's CFG as Graphviz DOT
 
@@ -20,7 +33,8 @@ Performance knobs: ``--jobs N`` fans independent per-function phases out to
 ``N`` worker processes (identical output, useful on many-function programs);
 ``batch`` keeps a per-function analysis cache across files and repeats, so
 structurally identical functions are analyzed once (see
-``benchmarks/bench_scale.py`` for the measured effect).
+``benchmarks/bench_scale.py`` for the measured effect;
+``benchmarks/bench_explore.py`` tracks schedules/sec for ``explore``).
 """
 
 from __future__ import annotations
@@ -134,6 +148,83 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_levels(spec: str) -> List[ThreadLevel]:
+    return [ThreadLevel[part.strip().upper()] for part in spec.split(",")]
+
+
+def _parse_ints(spec: str) -> List[int]:
+    return [int(part) for part in str(spec).split(",")]
+
+
+def _cmd_explore(args) -> int:
+    from .explore import (ExploreConfig, ScheduleTrace, explore_config,
+                          replay, verdict_line)
+
+    program = _load(args.file)
+    trace = ScheduleTrace.load(args.replay) if args.replay else None
+    # A trace records whether it was taken on the instrumented program;
+    # replay honors that so the schedule actually lines up.
+    instrument = args.instrument or (trace is not None
+                                     and bool(trace.config.get("instrument")))
+    group_kinds = None
+    if instrument:
+        analysis = analyze_program(program)
+        program, _ = instrument_program(analysis)
+        group_kinds = analysis.group_kinds
+
+    if trace is not None:
+        result, _new_trace, divergences = replay(program, trace,
+                                                 group_kinds=group_kinds)
+        for rank in sorted(result.outputs):
+            for line in result.outputs[rank]:
+                print(f"[rank {rank}] {line}")
+        line = verdict_line(result)
+        reproduced = line == trace.verdict
+        match = "reproduced" if reproduced else (
+            f"DIVERGED from recorded verdict: {trace.verdict}")
+        print(f"verdict: {line}", file=sys.stderr)
+        print(f"replay of {trace.mode} trace ({len(trace.choices)} choices, "
+              f"{divergences} divergences): {match}", file=sys.stderr)
+        if not reproduced:
+            return 2
+        return 0 if result.ok else 1
+
+    configs = [
+        ExploreConfig(nprocs=np, num_threads=nt, thread_level=level,
+                      instrument=instrument)
+        for np in _parse_ints(args.np)
+        for nt in _parse_ints(args.nt)
+        for level in _parse_levels(args.thread_level)
+    ]
+    total_schedules = 0
+    total_failed = 0
+    save_trace = None  # first minimized trace, else first failing full trace
+    save_kind = ""
+    for config in configs:
+        report = explore_config(
+            program, config, strategy=args.strategy, runs=args.runs,
+            preemptions=args.preemptions, seed=args.seed,
+            group_kinds=group_kinds, minimize=not args.no_minimize)
+        print(report.summary())
+        total_schedules += report.schedules
+        total_failed += report.failed
+        if save_kind != "minimized":
+            if report.minimized is not None:
+                save_trace, save_kind = report.minimized, "minimized"
+            elif save_trace is None and report.failures:
+                save_trace, save_kind = report.failures[0].trace, "failing"
+    if total_failed:
+        print(f"mismatch in {total_failed}/{total_schedules} schedules",
+              file=sys.stderr)
+        if save_trace is not None:
+            path = args.save_trace or (args.file + ".trace.json")
+            save_trace.save(path)
+            print(f"{save_kind} trace saved to {path}", file=sys.stderr)
+        return 1
+    print(f"clean in all {total_schedules} explored schedules", file=sys.stderr)
+    return 0
+
+
 def _cmd_cfg(args) -> int:
     program = _load(args.file)
     analysis = analyze_program(program)
@@ -204,6 +295,37 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=[l.name.lower() for l in ThreadLevel])
     p.add_argument("--timeout", type=float, default=10.0)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "explore",
+        help="deterministic schedule exploration (DFS / random interleavings)")
+    p.add_argument("file")
+    p.add_argument("--strategy", choices=("dfs", "random"), default="dfs",
+                   help="exhaustive bounded DFS (small programs) or "
+                        "seeded-random sampling (large ones)")
+    p.add_argument("--preemptions", type=int, default=2, metavar="K",
+                   help="preemption bound per schedule (default 2)")
+    p.add_argument("--runs", type=int, default=100, metavar="N",
+                   help="max schedules per configuration (default 100)")
+    p.add_argument("--replay", metavar="TRACE",
+                   help="re-execute a saved JSON schedule trace instead")
+    p.add_argument("-np", default="2", metavar="LIST",
+                   help="comma-separated rank counts (default '2')")
+    p.add_argument("-nt", default="2", metavar="LIST",
+                   help="comma-separated team sizes (default '2')")
+    p.add_argument("--thread-level", default="multiple", metavar="LIST",
+                   help="comma-separated levels (single,funneled,"
+                        "serialized,multiple)")
+    p.add_argument("--instrument", action="store_true",
+                   help="analyze + instrument before exploring")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed for --strategy random")
+    p.add_argument("--save-trace", metavar="PATH",
+                   help="where to save the failing trace — minimized when "
+                        "minimization ran (default FILE.trace.json)")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging the first failing schedule")
+    p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser("cfg", help="dump a function's CFG as DOT")
     p.add_argument("file")

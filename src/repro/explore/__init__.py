@@ -1,0 +1,51 @@
+"""repro.explore — deterministic schedule exploration for the simulator.
+
+The dynamic-side subsystem: a cooperative :class:`Scheduler` serializes
+every logical thread of a simulated run onto one token (so a run is fully
+determined by its schedule choice sequence), traces record/replay those
+choices as compact JSON, and exploration strategies (bounded-preemption
+DFS, seeded random sampling) sweep the interleaving space per
+``(nprocs, num_threads, thread_level)`` configuration — with greedy
+delta-debugging of any failing schedule.  Surfaced as ``parcoach explore``.
+"""
+
+from .explore import (
+    ConfigReport,
+    ExploreConfig,
+    ScheduleOutcome,
+    explore_config,
+    explore_program,
+    replay,
+    run_scheduled,
+)
+from .minimize import ddmin
+from .sched import Scheduler
+from .strategies import (
+    Decision,
+    DefaultStrategy,
+    RandomStrategy,
+    ScriptedStrategy,
+    Strategy,
+    dfs_prefixes,
+)
+from .trace import ScheduleTrace, verdict_line
+
+__all__ = [
+    "ConfigReport",
+    "ExploreConfig",
+    "ScheduleOutcome",
+    "explore_config",
+    "explore_program",
+    "replay",
+    "run_scheduled",
+    "ddmin",
+    "Scheduler",
+    "Decision",
+    "DefaultStrategy",
+    "RandomStrategy",
+    "ScriptedStrategy",
+    "Strategy",
+    "dfs_prefixes",
+    "ScheduleTrace",
+    "verdict_line",
+]

@@ -1,0 +1,242 @@
+"""High-level exploration driver: schedules × configurations → verdicts.
+
+``explore_config`` systematically executes one program configuration
+(ranks, team size, thread level) under many schedules — exhaustive DFS with
+a preemption bound, or seeded-random sampling — and aggregates the verdict
+of every interleaving.  The first failing schedule is delta-debugged into a
+minimized trace.  ``explore_program`` cross-products configurations.
+``replay`` re-executes a recorded (or minimized) trace and reports whether
+it reproduced the recorded verdict byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..minilang import ast_nodes as A
+from ..mpi.thread_levels import ThreadLevel
+from ..runtime.run import run_program
+from ..runtime.simmpi.world import RunResult
+from .minimize import ddmin
+from .sched import Scheduler
+from .strategies import (
+    DefaultStrategy,
+    RandomStrategy,
+    ScriptedStrategy,
+    dfs_prefixes,
+)
+from .trace import ScheduleTrace, verdict_line
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """One point of the (nprocs, num_threads, thread_level) cross product."""
+
+    nprocs: int = 2
+    num_threads: int = 2
+    thread_level: ThreadLevel = ThreadLevel.MULTIPLE
+    entry: str = "main"
+    instrument: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nprocs": self.nprocs,
+            "num_threads": self.num_threads,
+            "thread_level": self.thread_level.name.lower(),
+            "entry": self.entry,
+            "instrument": self.instrument,
+        }
+
+    def describe(self) -> str:
+        return (f"np={self.nprocs} nt={self.num_threads} "
+                f"level={self.thread_level.name.lower()}")
+
+
+@dataclass
+class ScheduleOutcome:
+    """Verdict of one explored interleaving."""
+
+    index: int
+    verdict: str            # canonical verdict line
+    verdict_class: str      # "" when clean
+    detected_by: str
+    trace: ScheduleTrace
+
+
+@dataclass
+class ConfigReport:
+    """Aggregate over every schedule explored for one configuration."""
+
+    config: ExploreConfig
+    strategy: str
+    schedules: int = 0
+    verdict_counts: Counter = field(default_factory=Counter)
+    failures: List[ScheduleOutcome] = field(default_factory=list)
+    minimized: Optional[ScheduleTrace] = None
+    minimize_replays: int = 0
+
+    @property
+    def clean(self) -> int:
+        return self.verdict_counts.get("clean", 0)
+
+    @property
+    def failed(self) -> int:
+        return self.schedules - self.clean
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{cls} {n}" for cls, n in sorted(self.verdict_counts.items())
+            if cls != "clean"
+        )
+        line = (f"{self.config.describe()} · {self.strategy}: "
+                f"{self.schedules} schedules — clean {self.clean}"
+                + (f", {counts}" if counts else ""))
+        if self.failures:
+            first = self.failures[0]
+            line += (f"\n  first failure at schedule #{first.index}: "
+                     f"{first.verdict}")
+            if self.minimized is not None:
+                line += (f"\n  minimized: {len(first.trace.choices)} -> "
+                         f"{len(self.minimized.choices)} choices "
+                         f"({self.minimize_replays} replays)")
+        return line
+
+
+def run_scheduled(
+    program: A.Program,
+    config: ExploreConfig,
+    strategy=None,
+    group_kinds: Optional[Dict[int, str]] = None,
+    strategy_info: Optional[Dict[str, object]] = None,
+    mode: str = "full",
+) -> Tuple[RunResult, ScheduleTrace]:
+    """Execute one deterministic scheduled run; return result + its trace."""
+    scheduler = Scheduler(strategy or DefaultStrategy())
+    result = run_program(
+        program,
+        nprocs=config.nprocs,
+        num_threads=config.num_threads,
+        thread_level=config.thread_level,
+        group_kinds=group_kinds,
+        entry=config.entry,
+        scheduler=scheduler,
+    )
+    trace = ScheduleTrace.record(scheduler, config.as_dict(), result,
+                                 strategy_info=strategy_info, mode=mode)
+    return result, trace
+
+
+def replay(
+    program: A.Program,
+    trace: ScheduleTrace,
+    group_kinds: Optional[Dict[int, str]] = None,
+) -> Tuple[RunResult, ScheduleTrace, int]:
+    """Re-execute a trace.  Returns ``(result, new_trace, divergences)`` —
+    ``divergences`` counts scripted choices that were not runnable when
+    their turn came (always 0 when replaying a full trace of a
+    deterministic run; minimized traces legitimately rely on the fallback
+    only after their shortened script is exhausted)."""
+    config = ExploreConfig(
+        nprocs=int(trace.config.get("nprocs", 2)),
+        num_threads=int(trace.config.get("num_threads", 2)),
+        thread_level=trace.thread_level(),
+        entry=str(trace.config.get("entry", "main")),
+        instrument=bool(trace.config.get("instrument", False)),
+    )
+    strategy = ScriptedStrategy(trace.choice_names)
+    result, new_trace = run_scheduled(
+        program, config, strategy, group_kinds,
+        strategy_info={"name": "replay", "of": trace.mode}, mode=trace.mode)
+    return result, new_trace, strategy.divergences
+
+
+def _minimize_failure(program, config, group_kinds, outcome: ScheduleOutcome,
+                      budget: int) -> Tuple[ScheduleTrace, int]:
+    """Delta-debug a failing schedule's choice sequence."""
+    target = outcome.verdict
+    replays = 0
+
+    def failing(candidate: List[str]) -> bool:
+        nonlocal replays
+        replays += 1
+        result, _ = run_scheduled(program, config, ScriptedStrategy(candidate),
+                                  group_kinds)
+        return verdict_line(result) == target
+
+    minimal = ddmin(failing, outcome.trace.choice_names, budget=budget)
+    result, trace = run_scheduled(
+        program, config, ScriptedStrategy(minimal), group_kinds,
+        strategy_info={"name": "minimized", "from_choices":
+                       len(outcome.trace.choices)}, mode="minimized")
+    replays += 1
+    # Keep exactly the choices the minimized schedule actually consumed.
+    trace.choices = trace.choices[:len(minimal)]
+    return trace, replays
+
+
+def explore_config(
+    program: A.Program,
+    config: ExploreConfig,
+    strategy: str = "dfs",
+    runs: int = 100,
+    preemptions: int = 2,
+    seed: int = 0,
+    group_kinds: Optional[Dict[int, str]] = None,
+    minimize: bool = True,
+    minimize_budget: int = 150,
+    max_failures: int = 25,
+) -> ConfigReport:
+    """Explore one configuration's schedule space."""
+    report = ConfigReport(config=config, strategy=strategy)
+
+    def note(result: RunResult, trace: ScheduleTrace) -> None:
+        report.schedules += 1
+        key = trace.verdict_class or "clean"
+        report.verdict_counts[key] += 1
+        if result.error is not None and len(report.failures) < max_failures:
+            report.failures.append(ScheduleOutcome(
+                index=report.schedules,
+                verdict=trace.verdict,
+                verdict_class=trace.verdict_class,
+                detected_by=trace.detected_by,
+                trace=trace,
+            ))
+
+    if strategy == "dfs":
+        def run_fn(prefix: List[str]):
+            result, trace = run_scheduled(
+                program, config, ScriptedStrategy(prefix), group_kinds,
+                strategy_info={"name": "dfs", "prefix": len(prefix),
+                               "preemptions": preemptions})
+            note(result, trace)
+            return trace.choices
+
+        for _ in dfs_prefixes(run_fn, max_runs=runs,
+                              preemption_bound=preemptions):
+            pass
+    elif strategy == "random":
+        for i in range(runs):
+            result, trace = run_scheduled(
+                program, config,
+                RandomStrategy(seed=seed + i, preemption_bound=preemptions),
+                group_kinds,
+                strategy_info={"name": "random", "seed": seed + i})
+            note(result, trace)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r} (dfs|random)")
+
+    if minimize and report.failures:
+        report.minimized, report.minimize_replays = _minimize_failure(
+            program, config, group_kinds, report.failures[0], minimize_budget)
+    return report
+
+
+def explore_program(
+    program: A.Program,
+    configs: Sequence[ExploreConfig],
+    **kwargs,
+) -> List[ConfigReport]:
+    """Cross-product exploration: one :class:`ConfigReport` per config."""
+    return [explore_config(program, config, **kwargs) for config in configs]

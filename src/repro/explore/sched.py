@@ -1,0 +1,241 @@
+"""The cooperative scheduler — deterministic execution of the simulator.
+
+Installed as an :class:`~repro.runtime.schedpoint.ExecutionHooks` on an
+:class:`~repro.runtime.simmpi.world.MpiWorld`, it serializes every logical
+thread of the run (rank main threads and all OpenMP team workers) onto a
+single token: exactly one thread executes at a time, and control changes
+hands only at SchedPoint hooks — entering a collective/recv/send, claiming
+a ``single``, team barriers, check enters, blocking waits, thread exits.
+A run is therefore *fully determined* by the sequence of answers the
+installed :class:`~repro.explore.strategies.Strategy` gives at branching
+decisions, which the scheduler records for trace replay.
+
+Logical threads get deterministic hierarchical names: rank main threads are
+``r0, r1, ...``; the ``tid``-th worker of the ``k``-th team spawned by
+parent ``P`` is ``P/k.t``.  Candidate sets are always sorted, so equal
+choice sequences reproduce equal runs bit for bit.
+
+Time is virtual — one tick per scheduling operation — and deadlock
+detection is structural: the moment a decision finds no runnable thread
+while some are blocked, the run aborts *immediately* with the full wait-for
+state (every blocked thread's self-description), with no wall-clock
+timeout involved.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..runtime.errors import DeadlockError
+from ..runtime.schedpoint import ExecutionHooks, SchedPoint
+from .strategies import Decision, DefaultStrategy, Strategy
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+
+
+class _Logical:
+    __slots__ = ("name", "state", "sem", "cond", "predicate", "describe")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = _READY
+        self.sem = threading.Semaphore(0)
+        self.cond: Optional[threading.Condition] = None
+        self.predicate: Optional[Callable[[], bool]] = None
+        self.describe = ""
+
+
+class ScheduleStall(RuntimeError):
+    """A spawned logical thread never attached (scheduler wiring bug)."""
+
+
+class Scheduler(ExecutionHooks):
+    """One run's cooperative schedule: strategy in, decision log out."""
+
+    cooperative = True
+
+    def __init__(self, strategy: Optional[Strategy] = None,
+                 wall_guard: float = 120.0) -> None:
+        self.strategy = strategy or DefaultStrategy()
+        self.wall_guard = wall_guard
+        self._lock = threading.RLock()
+        self._threads: Dict[str, _Logical] = {}
+        self._attach_events: Dict[str, threading.Event] = {}
+        self._spawn_counts: Dict[Optional[str], int] = {}
+        self._tls = threading.local()
+        self._current: Optional[str] = None
+        self._started = False
+        self._world = None
+        self._vtime = 0.0
+        #: Branching decisions, in order — the run's schedule trace.
+        self.decisions: List[Decision] = []
+        #: Wait-for description when structural deadlock was detected.
+        self.deadlock_state: Optional[str] = None
+
+    # -- time ----------------------------------------------------------------
+
+    def clock(self) -> float:
+        return self._vtime
+
+    def join_timeout(self, timeout: float) -> float:
+        return self.wall_guard
+
+    # -- logical-thread lifecycle -------------------------------------------
+
+    def _me(self) -> Optional[str]:
+        return getattr(self._tls, "name", None)
+
+    def _attach_event(self, name: str) -> threading.Event:
+        with self._lock:
+            return self._attach_events.setdefault(name, threading.Event())
+
+    def child_names(self, size: int) -> List[Optional[str]]:
+        parent = self._me()
+        with self._lock:
+            seq = self._spawn_counts.get(parent, 0)
+            self._spawn_counts[parent] = seq + 1
+        return [None] + [f"{parent}/{seq}.{tid}" for tid in range(1, size)]
+
+    def attach(self, name: str) -> None:
+        lt = _Logical(name)
+        with self._lock:
+            self._threads[name] = lt
+        self._tls.name = name
+        self._attach_event(name).set()
+        lt.sem.acquire()  # parked until first scheduled
+
+    def await_children(self, names) -> None:
+        for name in names:
+            if name is None:
+                continue
+            if not self._attach_event(name).wait(timeout=30.0):
+                raise ScheduleStall(f"logical thread {name} never attached")
+
+    def detach(self) -> None:
+        me = self._me()
+        self._tls.name = None
+        with self._lock:
+            self._threads.pop(me, None)
+            if self._current == me:
+                self._current = None
+                if self._world is not None:
+                    self._schedule_next_locked(self._world, SchedPoint.EXIT, me)
+
+    def start(self, world) -> None:
+        with self._lock:
+            self._world = world
+            self._started = True
+            self._schedule_next_locked(world, SchedPoint.START, "")
+
+    def on_abort(self, world) -> None:
+        with self._lock:
+            for lt in self._threads.values():
+                if lt.state == _BLOCKED:
+                    lt.state = _READY
+                    lt.cond = None
+                    lt.predicate = None
+
+    # -- decision points ------------------------------------------------------
+
+    def yield_point(self, world, kind: str, detail: str = "") -> None:
+        me = self._me()
+        if me is None or not self._started:
+            return
+        with self._lock:
+            lt = self._threads[me]
+            candidates = self._ready_locked(include=me)
+            chosen = self._choose_locked(kind, detail, me, candidates)
+            if chosen == me:
+                self._vtime += 1
+                return
+            lt.state = _READY
+            self._grant_locked(chosen)
+        lt.sem.acquire()
+
+    def wait(self, world, cond, describe="", predicate=None):
+        me = self._me()
+        if me is None:  # not a scheduled thread (defensive): threaded wait
+            cond.wait(0.05)
+            return
+        lt = self._threads[me]
+        with self._lock:
+            if world.aborted.is_set():
+                return  # caller's loop re-checks the abort flag first
+            lt.state = _BLOCKED
+            lt.cond = cond
+            lt.predicate = predicate
+            lt.describe = describe or me
+        # Fully release the caller-held condition while parked, exactly like
+        # Condition.wait does, so the thread we hand the token to can enter.
+        saved = cond._release_save()
+        try:
+            with self._lock:
+                # Hand the token over (may wake us straight back up if the
+                # handoff detects a structural deadlock and aborts).
+                self._schedule_next_locked(world, SchedPoint.BLOCK, describe)
+            lt.sem.acquire()
+        finally:
+            cond._acquire_restore(saved)
+
+    def notify(self, world, cond):
+        with self._lock:
+            for name in sorted(self._threads):
+                lt = self._threads[name]
+                if lt.state == _BLOCKED and lt.cond is cond:
+                    if lt.predicate is None or lt.predicate():
+                        lt.state = _READY
+                        lt.cond = None
+                        lt.predicate = None
+
+    # -- internals -------------------------------------------------------------
+
+    def _ready_locked(self, include: Optional[str] = None) -> List[str]:
+        names = [n for n, lt in self._threads.items()
+                 if lt.state == _READY or n == include]
+        return sorted(names)
+
+    def _choose_locked(self, kind: str, detail: str, current: Optional[str],
+                       candidates: List[str]) -> str:
+        point = f"{kind}:{detail}" if detail else kind
+        if len(candidates) == 1:
+            return candidates[0]
+        index = len(self.decisions)
+        chosen = self.strategy.choose(index, candidates, current, point)
+        if chosen not in candidates:
+            chosen = candidates[0]
+        self.decisions.append(Decision(index, point, current,
+                                       tuple(candidates), chosen))
+        return chosen
+
+    def _grant_locked(self, name: str) -> None:
+        lt = self._threads[name]
+        lt.state = _RUNNING
+        self._current = name
+        self._vtime += 1
+        lt.sem.release()
+
+    def _schedule_next_locked(self, world, kind: str, detail: str) -> None:
+        self._current = None
+        ready = self._ready_locked()
+        if not ready:
+            blocked = sorted(n for n, lt in self._threads.items()
+                             if lt.state == _BLOCKED)
+            if not blocked:
+                return  # every logical thread has exited: the run is over
+            if not world.aborted.is_set():
+                state = "; ".join(self._threads[n].describe or n
+                                  for n in blocked)
+                self.deadlock_state = state
+                world.abort(DeadlockError(
+                    f"deadlock: every logical thread is blocked — {state}"
+                ))  # on_abort marked them ready so they can unwind
+            else:
+                self.on_abort(world)
+            ready = self._ready_locked()
+            if not ready:
+                return
+        chosen = self._choose_locked(kind, detail, None, ready)
+        self._grant_locked(chosen)

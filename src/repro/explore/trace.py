@@ -1,0 +1,152 @@
+"""Compact JSON schedule traces — record, save, load, replay.
+
+A trace is everything needed to reproduce one scheduled run byte for byte:
+the program configuration (ranks, team size, thread level, entry,
+instrumented or not) and the choice sequence of every *branching* decision
+(points with a single runnable thread are forced and not recorded).  The
+verdict block is carried along so a replay can be validated against what
+the recorded run reported.
+
+JSON schema (``version`` 1)::
+
+    {
+      "version": 1,
+      "mode": "full" | "minimized",
+      "config": {"nprocs": 2, "num_threads": 2, "thread_level": "multiple",
+                 "entry": "main", "instrument": false},
+      "strategy": {"name": "random", "seed": 7},
+      "verdict": {"line": "DeadlockError[simulator] rank=0 line=12: ...",
+                  "class": "DeadlockError", "detected_by": "simulator"},
+      "choices": [
+        {"i": 0, "p": "start", "u": null, "r": ["r0", "r1"], "c": "r1"},
+        ...
+      ]
+    }
+
+``choices[*]``: ``i`` decision index, ``p`` schedule point (kind:detail),
+``u`` the thread that was running (``null`` = forced switch), ``r`` the
+sorted runnable set, ``c`` the chosen thread.  Only ``c`` is required to
+replay; the rest make traces self-describing and drive DFS expansion.
+``mode: "minimized"`` marks a delta-debugged choice sequence that relies on
+the deterministic run-to-completion fallback once exhausted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mpi.thread_levels import ThreadLevel
+from ..runtime.simmpi.world import RunResult
+from .strategies import Decision
+
+TRACE_VERSION = 1
+
+
+def verdict_line(result: RunResult) -> str:
+    """Canonical one-line verdict used for byte-for-byte comparisons."""
+    if result.error is None:
+        return "clean"
+    err = result.error
+    return (f"{type(err).__name__}[{err.detected_by}] "
+            f"rank={err.rank} line={err.line}: {err}")
+
+
+@dataclass
+class ScheduleTrace:
+    config: Dict[str, object]
+    choices: List[Decision] = field(default_factory=list)
+    verdict: str = "clean"
+    verdict_class: str = ""
+    detected_by: str = ""
+    mode: str = "full"
+    strategy: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def choice_names(self) -> List[str]:
+        return [d.chosen for d in self.choices]
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def record(cls, scheduler, config: Dict[str, object], result: RunResult,
+               strategy_info: Optional[Dict[str, object]] = None,
+               mode: str = "full") -> "ScheduleTrace":
+        return cls(
+            config=dict(config),
+            choices=list(scheduler.decisions),
+            verdict=verdict_line(result),
+            verdict_class=type(result.error).__name__ if result.error else "",
+            detected_by=result.detected_by,
+            mode=mode,
+            strategy=dict(strategy_info or {}),
+        )
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TRACE_VERSION,
+            "mode": self.mode,
+            "config": self.config,
+            "strategy": self.strategy,
+            "verdict": {
+                "line": self.verdict,
+                "class": self.verdict_class,
+                "detected_by": self.detected_by,
+            },
+            "choices": [
+                {"i": d.index, "p": d.point, "u": d.current,
+                 "r": list(d.runnable), "c": d.chosen}
+                for d in self.choices
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleTrace":
+        version = data.get("version", TRACE_VERSION)
+        if version != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        verdict = data.get("verdict", {})
+        choices = [
+            Decision(
+                index=c.get("i", i),
+                point=c.get("p", ""),
+                current=c.get("u"),
+                runnable=tuple(c.get("r", ())),
+                chosen=c["c"],
+            )
+            for i, c in enumerate(data.get("choices", []))
+        ]
+        return cls(
+            config=dict(data.get("config", {})),
+            choices=choices,
+            verdict=verdict.get("line", "clean"),
+            verdict_class=verdict.get("class", ""),
+            detected_by=verdict.get("detected_by", ""),
+            mode=data.get("mode", "full"),
+            strategy=dict(data.get("strategy", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleTrace":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ScheduleTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- config helpers ---------------------------------------------------------
+
+    def thread_level(self) -> ThreadLevel:
+        name = str(self.config.get("thread_level", "multiple")).upper()
+        return ThreadLevel[name]

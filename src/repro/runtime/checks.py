@@ -25,6 +25,7 @@ from .errors import (
     ConcurrentCollectiveError,
     ThreadContextError,
 )
+from .schedpoint import SchedPoint
 from .simmpi.process import MpiProcess
 
 
@@ -64,6 +65,9 @@ class CheckState:
     # -- concurrency counters ------------------------------------------------------
 
     def enter(self, group: int, what: str, line: int = 0) -> None:
+        # Entering an instrumented region is schedule-relevant: whether two
+        # threads overlap inside it is exactly what exploration varies.
+        self.proc.world.yield_point(SchedPoint.CHECK, f"enter:{what}")
         self.proc.enter_checks += 1
         with self._lock:
             count = self._counters.get(group, 0) + 1
@@ -84,5 +88,6 @@ class CheckState:
         )
 
     def exit(self, group: int) -> None:
+        self.proc.world.yield_point(SchedPoint.CHECK, f"exit:{group}")
         with self._lock:
             self._counters[group] = max(0, self._counters.get(group, 0) - 1)

@@ -13,7 +13,17 @@ from ..minilang import ast_nodes as A
 from ..mpi.thread_levels import ThreadLevel
 from .checks import CheckState
 from .interp.interpreter import Interpreter
+from .schedpoint import ExecutionHooks
 from .simmpi.world import MpiWorld, RunResult
+
+#: Wall-clock seconds before a blocked wait is declared deadlocked when the
+#: caller does not thread an explicit budget through.
+DEFAULT_TIMEOUT = 10.0
+
+#: Virtual-clock budget (scheduling steps) under a cooperative scheduler —
+#: real deadlocks are detected structurally and immediately there; the step
+#: budget only catches livelocks that keep yielding forever.
+DEFAULT_STEP_BUDGET = 1_000_000.0
 
 
 def run_program(
@@ -23,7 +33,8 @@ def run_program(
     thread_level: ThreadLevel = ThreadLevel.MULTIPLE,
     group_kinds: Optional[Dict[int, str]] = None,
     entry: str = "main",
-    timeout: float = 10.0,
+    timeout: Optional[float] = None,
+    scheduler: Optional[ExecutionHooks] = None,
 ) -> RunResult:
     """Execute ``program`` on ``nprocs`` simulated ranks.
 
@@ -40,9 +51,20 @@ def run_program(
         ``ProgramAnalysis.group_kinds`` when running instrumented code —
         selects the error type the ENTER counters raise.
     timeout:
-        Seconds before a blocked collective/barrier is declared deadlocked.
+        Deadlock budget.  Wall-clock seconds in threaded mode (default
+        ``DEFAULT_TIMEOUT``); under a scheduler the clock is *virtual*
+        (one tick per scheduling decision), deadlocks are reported the
+        instant every logical thread blocks, and the default budget is the
+        large ``DEFAULT_STEP_BUDGET`` livelock guard.
+    scheduler:
+        A cooperative scheduler from :mod:`repro.explore` — installs
+        deterministic one-thread-at-a-time execution with trace recording.
+        ``None`` (default) keeps normal threaded execution.
     """
-    world = MpiWorld(nprocs, thread_level=thread_level, timeout=timeout)
+    if timeout is None:
+        timeout = DEFAULT_STEP_BUDGET if scheduler is not None else DEFAULT_TIMEOUT
+    world = MpiWorld(nprocs, thread_level=thread_level, timeout=timeout,
+                     hooks=scheduler)
 
     def target(proc):
         checks = CheckState(proc, group_kinds)

@@ -13,6 +13,10 @@ real machine:
   are the collective colors, every rank receives ``(min, max)`` and the
   caller turns disagreement into a clean :class:`CollectiveMismatchError`.
 
+Blocking goes through the world's SchedPoint hooks: threaded runs wait on
+the condition (woken by arrivals, releases, finishes, and abort), scheduled
+runs block cooperatively with an exact wait-for description.
+
 Data semantics of each collective live in :mod:`.ops`.
 """
 
@@ -22,10 +26,8 @@ import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import AbortedError, DeadlockError
+from ..schedpoint import SchedPoint
 from . import ops
-
-#: Seconds between abort-flag polls while blocked.
-_POLL = 0.02
 
 
 class CollectiveEngine:
@@ -47,11 +49,13 @@ class CollectiveEngine:
     def collective(self, rank: int, op_name: str, signature: tuple,
                    payload: Any) -> Any:
         """Execute one collective round for ``rank``; blocks until matched."""
+        self.world.yield_point(SchedPoint.COLLECTIVE, f"{op_name}@r{rank}")
         deadline = self.world.clock() + self.world.timeout
         with self.cond:
             # Wait for the previous round's release phase to finish.
             while self._releasing:
-                self._wait(deadline)
+                self._wait(deadline, f"rank {rank} awaiting round release",
+                           lambda: not self._releasing)
             self._check_alive_peers()
             if rank in self.arrivals:
                 raise AbortedError()  # same rank twice in one round: unwinding
@@ -61,7 +65,9 @@ class CollectiveEngine:
                 self._complete_round()
             else:
                 while not self._releasing:
-                    self._wait(deadline)
+                    self._wait(deadline,
+                               f"rank {rank} in {op_name} (round {self.round_no})",
+                               lambda: self._releasing)
                     self._check_alive_peers()
             assert self._result is not None
             value = self._result.get(rank)
@@ -69,7 +75,7 @@ class CollectiveEngine:
             if self._release_pending == 0:
                 self._releasing = False
                 self._result = None
-                self.cond.notify_all()
+                self.world.notify(self.cond)
             return value
 
     def on_proc_finished(self, rank: int) -> None:
@@ -85,11 +91,11 @@ class CollectiveEngine:
                     f"deadlock: rank {rank} finished while {desc} wait(s) "
                     f"for the collective to complete"
                 ))
-            self.cond.notify_all()
+            self.world.notify(self.cond)
 
     # -- internals -----------------------------------------------------------------
 
-    def _wait(self, deadline: float) -> None:
+    def _wait(self, deadline: float, describe: str, predicate) -> None:
         self.world.check_abort()
         if self.world.clock() > deadline:
             ops_desc = ", ".join(
@@ -99,7 +105,7 @@ class CollectiveEngine:
                 f"deadlock: collective round timed out ({ops_desc or 'empty round'})"
             ))
             self.world.check_abort()
-        self.cond.wait(_POLL)
+        self.world.wait(self.cond, describe, predicate)
 
     def _check_alive_peers(self) -> None:
         self.world.check_abort()
@@ -144,4 +150,4 @@ class CollectiveEngine:
         self.arrivals = {}
         self._releasing = True
         self._release_pending = len(self.ranks)
-        self.cond.notify_all()
+        self.world.notify(self.cond)

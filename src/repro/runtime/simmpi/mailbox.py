@@ -1,19 +1,18 @@
 """Point-to-point message store (one per communicator).
 
 Send is buffered (never blocks); Recv blocks until a matching
-``(source, tag)`` message exists, polling the world's abort flag.  Wildcards:
-``source=-1`` (any source), ``tag=-1`` (any tag), mirroring
-``MPI_ANY_SOURCE``/``MPI_ANY_TAG``.
+``(source, tag)`` message exists — woken by sends and abort through the
+world's SchedPoint hooks.  Wildcards: ``source=-1`` (any source), ``tag=-1``
+(any tag), mirroring ``MPI_ANY_SOURCE``/``MPI_ANY_TAG``.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError
-
-_POLL = 0.02
+from ..schedpoint import SchedPoint
 
 
 class Mailbox:
@@ -24,19 +23,26 @@ class Mailbox:
         self.queues: Dict[int, List[Tuple[int, int, Any]]] = {}
 
     def send(self, source: int, dest: int, tag: int, value: Any) -> None:
+        self.world.yield_point(SchedPoint.SEND, f"r{source}->r{dest}")
         with self.cond:
             self.queues.setdefault(dest, []).append((source, tag, value))
-            self.cond.notify_all()
+            self.world.notify(self.cond)
+
+    def _match(self, dest: int, source: int, tag: int) -> Optional[int]:
+        queue = self.queues.setdefault(dest, [])
+        for i, (src, t, _value) in enumerate(queue):
+            if (source in (-1, src)) and (tag in (-1, t)):
+                return i
+        return None
 
     def recv(self, dest: int, source: int, tag: int) -> Any:
+        self.world.yield_point(SchedPoint.RECV, f"r{dest}<-{source}")
         deadline = self.world.clock() + self.world.timeout
         with self.cond:
             while True:
-                queue = self.queues.setdefault(dest, [])
-                for i, (src, t, value) in enumerate(queue):
-                    if (source in (-1, src)) and (tag in (-1, t)):
-                        queue.pop(i)
-                        return value
+                index = self._match(dest, source, tag)
+                if index is not None:
+                    return self.queues[dest].pop(index)[2]
                 self.world.check_abort()
                 if self.world.clock() > deadline:
                     self.world.abort(DeadlockError(
@@ -44,4 +50,8 @@ class Mailbox:
                         f"(source={source}, tag={tag}) with no matching send"
                     ))
                     self.world.check_abort()
-                self.cond.wait(_POLL)
+                self.world.wait(
+                    self.cond,
+                    f"rank {dest} in MPI_Recv(source={source}, tag={tag})",
+                    lambda: self._match(dest, source, tag) is not None,
+                )

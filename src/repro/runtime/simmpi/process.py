@@ -21,9 +21,49 @@ from typing import Any, Dict, List, Optional
 from ...mpi.thread_levels import LEVEL_FROM_INT, ThreadLevel
 from ..errors import (
     ConcurrentCollectiveError,
+    DeadlockError,
     MpiRuntimeError,
     ThreadLevelError,
 )
+from ..schedpoint import SchedPoint
+
+
+class CriticalSection:
+    """A named ``omp critical`` lock that blocks through the world's
+    SchedPoint hooks, so contention is schedulable (and deadlock-reportable)
+    instead of an opaque OS-level block."""
+
+    def __init__(self, world: "MpiWorld", rank: int, name: str) -> None:  # noqa: F821
+        self.world = world
+        self.rank = rank
+        self.name = name
+        self.cond = threading.Condition()
+        self._held = False
+
+    def __enter__(self) -> "CriticalSection":
+        self.world.yield_point(SchedPoint.CRITICAL, self.name)
+        deadline = self.world.clock() + self.world.timeout
+        with self.cond:
+            while self._held:
+                self.world.check_abort()
+                if self.world.clock() > deadline:
+                    self.world.abort(DeadlockError(
+                        f"critical({self.name}) never released on rank "
+                        f"{self.rank}"
+                    ))
+                    self.world.check_abort()
+                self.world.wait(
+                    self.cond,
+                    f"rank {self.rank} waiting for critical({self.name})",
+                    lambda: not self._held,
+                )
+            self._held = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with self.cond:
+            self._held = False
+            self.world.notify(self.cond)
 
 
 class MpiProcess:
@@ -41,7 +81,7 @@ class MpiProcess:
         self._collectives_inflight = 0
         self._active_wide_teams = 0  # teams with size > 1 currently open
         # Named critical-section locks (shared by all teams of the process).
-        self._critical_locks: Dict[str, threading.Lock] = {}
+        self._critical_locks: Dict[str, CriticalSection] = {}
         self._critical_guard = threading.Lock()
         # Instrumentation counters (populated by CheckState).
         self.cc_calls = 0
@@ -60,9 +100,10 @@ class MpiProcess:
             with self._lock:
                 self._active_wide_teams -= 1
 
-    def critical_lock(self, name: str) -> threading.Lock:
+    def critical_lock(self, name: str) -> CriticalSection:
         with self._critical_guard:
-            return self._critical_locks.setdefault(name, threading.Lock())
+            return self._critical_locks.setdefault(
+                name, CriticalSection(self.world, self.rank, name))
 
     # -- MPI setup ------------------------------------------------------------------
 

@@ -5,17 +5,26 @@
 the world (all blocked waits unwind via :class:`AbortedError`) and becomes
 the run's verdict.  A rank finishing while peers wait in a collective is
 detected as a deadlock by the engines.
+
+Every blocking decision point delegates to the world's
+:class:`~repro.runtime.schedpoint.ExecutionHooks` (see ``schedpoint.py``):
+the default is free-running OS threads with condition notification; when a
+cooperative scheduler from :mod:`repro.explore` is installed instead, the
+run is deterministic, time is virtual, and deadlocks are detected
+structurally the moment every logical thread is blocked.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...mpi.thread_levels import ThreadLevel
-from ..errors import AbortedError, ValidationError
+from ..errors import AbortedError, DeadlockError, ValidationError
+from ..schedpoint import THREADED_HOOKS, ExecutionHooks
 from .engine import CollectiveEngine
 from .mailbox import Mailbox
 from .process import MpiProcess
@@ -35,6 +44,9 @@ class RunResult:
     cc_calls: int = 0
     enter_checks: int = 0
     elapsed: float = 0.0
+    #: Completed collective rounds (op name, signature) — the run's
+    #: communication history, used by trace replay validation.
+    history: List[Tuple[str, tuple]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -53,20 +65,41 @@ class RunResult:
 
 class MpiWorld:
     def __init__(self, nprocs: int, thread_level: ThreadLevel = ThreadLevel.MULTIPLE,
-                 timeout: float = 20.0) -> None:
+                 timeout: float = 20.0, hooks: Optional[ExecutionHooks] = None) -> None:
         if nprocs < 1:
             raise ValueError("need at least one rank")
         self.nprocs = nprocs
         self.thread_level = thread_level
         self.timeout = timeout
-        self.clock = time.monotonic
+        self.hooks = hooks if hooks is not None else THREADED_HOOKS
+        self.clock = self.hooks.clock
         self._abort_lock = threading.Lock()
         self.abort_error: Optional[ValidationError] = None
         self.aborted = threading.Event()
+        self._wait_conds: Set[threading.Condition] = set()
         self.finished_ranks: Set[int] = set()
         self.engine = CollectiveEngine(self, list(range(nprocs)))
         self.mailbox = Mailbox(self)
         self.procs = [MpiProcess(self, rank) for rank in range(nprocs)]
+
+    # -- hook façade ---------------------------------------------------------------
+
+    def yield_point(self, kind: str, detail: str = "") -> None:
+        self.hooks.yield_point(self, kind, detail)
+
+    def wait(self, cond: threading.Condition, describe: str = "",
+             predicate=None) -> None:
+        """Block on ``cond`` (held by the caller) until its state may have
+        changed; callers loop on their own condition."""
+        self.hooks.wait(self, cond, describe, predicate)
+
+    def notify(self, cond: threading.Condition) -> None:
+        """State guarded by ``cond`` (held by the caller) changed."""
+        self.hooks.notify(self, cond)
+
+    def register_wait_cond(self, cond: threading.Condition) -> None:
+        with self._abort_lock:
+            self._wait_conds.add(cond)
 
     # -- abort protocol -----------------------------------------------------------
 
@@ -75,11 +108,19 @@ class MpiWorld:
         with self._abort_lock:
             if self.abort_error is None:
                 self.abort_error = error
+            conds = list(self._wait_conds)
         self.aborted.set()
-        with self.engine.cond:
-            self.engine.cond.notify_all()
-        with self.mailbox.cond:
-            self.mailbox.cond.notify_all()
+        self.hooks.on_abort(self)
+        for cond in conds:
+            # Best-effort: an RLock held by *this* thread re-enters fine; one
+            # held by another thread is skipped — its owner is either about
+            # to wait (and re-checks the abort flag first) or already
+            # waiting with the fallback timeout as a bound.
+            if cond.acquire(blocking=False):
+                try:
+                    cond.notify_all()
+                finally:
+                    cond.release()
 
     def check_abort(self) -> None:
         if self.aborted.is_set():
@@ -91,8 +132,11 @@ class MpiWorld:
         """Run ``target(proc)`` on every rank; collect the verdict."""
         result = RunResult(nprocs=self.nprocs)
         start = time.perf_counter()
+        cooperative = self.hooks.cooperative
 
-        def runner(proc: MpiProcess) -> None:
+        def runner(proc: MpiProcess, name: str) -> None:
+            if cooperative:
+                self.hooks.attach(name)
             try:
                 proc.main_thread = threading.current_thread()
                 result.returns[proc.rank] = target(proc)
@@ -109,19 +153,33 @@ class MpiWorld:
             finally:
                 self.finished_ranks.add(proc.rank)
                 self.engine.on_proc_finished(proc.rank)
+                if cooperative:
+                    self.hooks.detach()
 
+        names = [f"r{proc.rank}" for proc in self.procs]
         threads = [
-            threading.Thread(target=runner, args=(proc,), name=f"rank-{proc.rank}",
-                             daemon=True)
-            for proc in self.procs
+            threading.Thread(target=runner, args=(proc, name),
+                             name=f"rank-{proc.rank}", daemon=True)
+            for proc, name in zip(self.procs, names)
         ]
         for t in threads:
             t.start()
+        if cooperative:
+            self.hooks.await_children(names)
+            self.hooks.start(self)
+        guard = self.hooks.join_timeout(self.timeout)
+        if not math.isfinite(guard):
+            guard = None
         for t in threads:
-            t.join(timeout=self.timeout * 3)
+            t.join(timeout=guard)
+        if any(t.is_alive() for t in threads) and self.abort_error is None:
+            self.abort(DeadlockError(
+                "run stalled: rank thread(s) still alive past the join guard"
+            ))
 
         result.error = self.abort_error
         result.elapsed = time.perf_counter() - start
+        result.history = list(self.engine.history)
         for proc in self.procs:
             result.outputs[proc.rank] = proc.output
             result.cc_calls += proc.cc_calls

@@ -8,18 +8,20 @@ explicitly before the join so *all* threads synchronize, as OpenMP
 requires).  Teams nest freely — a worker encountering another ``parallel``
 creates a sub-team, which is the perfectly nested model the paper assumes.
 
-All blocking primitives poll the world abort flag so one verdict anywhere
-unwinds every thread of every rank.
+All blocking (barriers, the master's join) goes through the world's
+SchedPoint hooks: condition-notified under real threads, cooperative and
+fully deterministic under an installed scheduler — where workers get
+deterministic hierarchical names so a run is reproducible from its schedule
+choice sequence alone.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import AbortedError, DeadlockError, ValidationError
-
-_POLL = 0.02
+from ..schedpoint import SchedPoint
 
 
 class Team:
@@ -33,6 +35,9 @@ class Team:
         self._bar_cond = threading.Condition()
         self._bar_count = 0
         self._bar_gen = 0
+        # Worker completion (the master's cooperative join).
+        self._done_cond = threading.Condition()
+        self._done = 0
         # single/sections claims: (construct_uid, encounter_index) -> tid.
         self._claim_lock = threading.Lock()
         self._claims: Dict[Tuple[int, int], int] = {}
@@ -46,21 +51,50 @@ class Team:
             if self.size == 1:
                 self._run_guarded(body, 0)
                 return
+            names = self.world.hooks.child_names(self.size)
             workers = [
                 threading.Thread(
-                    target=self._run_guarded, args=(body, tid),
+                    target=self._worker_main, args=(body, tid, names[tid]),
                     name=f"rank{self.proc.rank}-tid{tid}", daemon=True,
                 )
                 for tid in range(1, self.size)
             ]
             for t in workers:
                 t.start()
+            self.world.hooks.await_children(names)
             self._run_guarded(body, 0)
-            for t in workers:
-                t.join(timeout=self.world.timeout * 2)
-            self.world.check_abort()
+            self._join_workers(workers)
         finally:
             self.proc.exit_parallel(self.size)
+
+    def _worker_main(self, body: Callable[[int], None], tid: int,
+                     name: Optional[str]) -> None:
+        if name is not None:
+            self.world.hooks.attach(name)
+        try:
+            self._run_guarded(body, tid)
+        finally:
+            with self._done_cond:
+                self._done += 1
+                self.world.notify(self._done_cond)
+            if name is not None:
+                self.world.hooks.detach()
+
+    def _join_workers(self, workers) -> None:
+        deadline = self.world.clock() + self.world.timeout * 2
+        with self._done_cond:
+            while self._done < len(workers):
+                self.world.check_abort()
+                if self.world.clock() > deadline:
+                    break  # fall through to the real join + abort check
+                self.world.wait(
+                    self._done_cond,
+                    f"rank {self.proc.rank} master joining its team",
+                    lambda: self._done >= len(workers),
+                )
+        for t in workers:
+            t.join(timeout=1.0)
+        self.world.check_abort()
 
     def _run_guarded(self, body: Callable[[int], None], tid: int) -> None:
         try:
@@ -73,7 +107,7 @@ class Team:
                 err.rank = self.proc.rank
             self.world.abort(err)
             with self._bar_cond:
-                self._bar_cond.notify_all()
+                self.world.notify(self._bar_cond)
             if tid == 0:
                 raise AbortedError() from err
         except Exception as err:  # noqa: BLE001 - surface interpreter bugs
@@ -83,17 +117,18 @@ class Team:
             wrapped.rank = self.proc.rank
             self.world.abort(wrapped)
             with self._bar_cond:
-                self._bar_cond.notify_all()
+                self.world.notify(self._bar_cond)
             if tid == 0:
                 raise AbortedError() from err
 
     # -- barrier --------------------------------------------------------------------
 
     def barrier(self) -> None:
-        """Team barrier with abort polling and hang detection."""
+        """Team barrier with abort notification and hang detection."""
         if self.size == 1:
             self.world.check_abort()
             return
+        self.world.yield_point(SchedPoint.OMP_BARRIER, f"r{self.proc.rank}")
         deadline = self.world.clock() + self.world.timeout
         with self._bar_cond:
             gen = self._bar_gen
@@ -101,7 +136,7 @@ class Team:
             if self._bar_count == self.size:
                 self._bar_count = 0
                 self._bar_gen += 1
-                self._bar_cond.notify_all()
+                self.world.notify(self._bar_cond)
                 return
             while self._bar_gen == gen:
                 self.world.check_abort()
@@ -112,12 +147,19 @@ class Team:
                         f"some thread never reaches the barrier"
                     ))
                     self.world.check_abort()
-                self._bar_cond.wait(_POLL)
+                self.world.wait(
+                    self._bar_cond,
+                    f"rank {self.proc.rank} in omp barrier "
+                    f"({self._bar_count}/{self.size} arrived)",
+                    lambda: self._bar_gen != gen,
+                )
 
     # -- worksharing --------------------------------------------------------------------
 
     def claim(self, construct_uid: int, encounter: int, tid: int) -> bool:
         """First thread to claim ``(construct, encounter)`` wins (single)."""
+        self.world.yield_point(SchedPoint.CLAIM,
+                               f"r{self.proc.rank}t{tid}u{construct_uid}")
         with self._claim_lock:
             key = (construct_uid, encounter)
             if key in self._claims:
