@@ -18,6 +18,13 @@ the largest synthetic size.  ``test_dominates_is_o1`` guards the O(1)
 dominance queries: per-query cost must not grow with CFG depth (the old
 parent-chain walk grew linearly).
 
+The ``calltree`` series measures the interprocedural layer on deep call
+trees (``repro.bench.scale.CALLTREE_SIZES``): ``interproc`` is the full
+context-propagation analysis, ``intraproc`` the per-function baseline on
+the same program — their ratio (``derived.interproc_overhead`` in
+``BENCH_scale.json``) is the cost of the call-graph fixpoint plus the
+context-split function analyses.
+
 Run ``python benchmarks/export_bench.py`` to refresh ``BENCH_scale.json``.
 """
 
@@ -25,13 +32,14 @@ import time
 
 import pytest
 
-from repro.bench.scale import SCALE_SIZES, scale_suite
+from repro.bench.scale import CALLTREE_SIZES, calltree_suite, SCALE_SIZES, scale_suite
 from repro.cfg import CFG, BlockKind, dominators
 from repro.core import AnalysisEngine
 from repro.minilang.parser import parse_program
 
 SIZES = tuple(SCALE_SIZES)
 LARGEST = SIZES[-1]
+CALLTREES = tuple(CALLTREE_SIZES)
 
 
 @pytest.fixture(scope="module")
@@ -82,10 +90,58 @@ def test_scale_warm_reparse(benchmark, sources, programs, size):
 
 @pytest.mark.parametrize("size", SIZES)
 def test_scale_parallel(benchmark, programs, size):
-    engine = AnalysisEngine(jobs=2, cache=False)
+    with AnalysisEngine(jobs=2, cache=False) as engine:
+        benchmark.extra_info["size"] = size
+        benchmark.extra_info["config"] = "parallel"
+        result = benchmark(lambda: engine.analyze(programs[size]))
+        assert result.functions
+
+
+# -- interprocedural call-tree series ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def calltree_programs():
+    return {name: parse_program(src, name)
+            for name, src in calltree_suite().items()}
+
+
+@pytest.mark.parametrize("size", CALLTREES)
+def test_calltree_interproc(benchmark, calltree_programs, size):
+    """Full interprocedural analysis (context propagation + summaries)."""
     benchmark.extra_info["size"] = size
-    benchmark.extra_info["config"] = "parallel"
-    result = benchmark(lambda: engine.analyze(programs[size]))
+    benchmark.extra_info["config"] = "interproc"
+    engine = AnalysisEngine(cache=False)
+    result = benchmark(lambda: engine.analyze(calltree_programs[size],
+                                              interprocedural=True))
+    assert result.interprocedural
+    # The tree shape must actually feed the propagation: some function runs
+    # under a non-empty context word.
+    assert any(any(w for w in fa.context_words)
+               for fa in result.functions.values())
+
+
+@pytest.mark.parametrize("size", CALLTREES)
+def test_calltree_intraproc(benchmark, calltree_programs, size):
+    """Per-function baseline on the same deep call tree."""
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["config"] = "intraproc"
+    engine = AnalysisEngine(cache=False)
+    result = benchmark(lambda: engine.analyze(calltree_programs[size],
+                                              interprocedural=False))
+    assert not result.interprocedural
+
+
+@pytest.mark.parametrize("size", CALLTREES)
+def test_calltree_warm_interproc(benchmark, calltree_programs, size):
+    """Warm engine: context-split artifacts and the interprocedural plan are
+    cached, so repeated analyses only pay lookups + merge."""
+    engine = AnalysisEngine()
+    engine.analyze(calltree_programs[size])  # fill
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["config"] = "interproc_warm"
+    result = benchmark(lambda: engine.analyze(calltree_programs[size]))
+    assert engine.stats.hits > 0
     assert result.functions
 
 

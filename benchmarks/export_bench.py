@@ -21,7 +21,8 @@ The compact schema::
       "derived": {
         "warm_speedup": {"XL": 39.5, ...},     # cold mean / warm mean
         "dominates_depth_ratio": 1.1,          # deepest / shallowest query
-        "schedules_per_sec": {"explore_dfs": 410.2, ...}  # exploration rate
+        "schedules_per_sec": {"explore_dfs": 410.2, ...},  # exploration rate
+        "interproc_overhead": {"D32": 1.6, ...}  # interproc / intraproc mean
       }
     }
 """
@@ -91,6 +92,14 @@ def compact(raw: dict) -> dict:
         if dom[depths[0]] > 0:
             derived["dominates_depth_ratio"] = round(
                 dom[depths[-1]] / dom[depths[0]], 2)
+    inter = by_config.get("interproc", {})
+    intra = by_config.get("intraproc", {})
+    overhead = {
+        size: round(inter[size] / intra[size], 2)
+        for size in inter if size in intra and intra[size] > 0
+    }
+    if overhead:
+        derived["interproc_overhead"] = overhead
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
     return {

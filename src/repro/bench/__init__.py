@@ -6,7 +6,8 @@ from typing import Dict
 
 from .epcc import make_epcc_suite
 from .errors_gallery import (CASES, ErrorCase, correct_cases,
-                             erroneous_cases, schedule_sensitive_cases)
+                             erroneous_cases, interprocedural_cases,
+                             schedule_sensitive_cases)
 from .hera import make_hera
 from .nas_mz import make_bt_mz, make_lu_mz, make_sp_mz
 from .pipeline import (
@@ -42,6 +43,7 @@ __all__ = [
     "correct_cases",
     "erroneous_cases",
     "schedule_sensitive_cases",
+    "interprocedural_cases",
     "make_hera",
     "make_bt_mz",
     "make_lu_mz",

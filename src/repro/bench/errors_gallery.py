@@ -51,6 +51,11 @@ class ErrorCase:
     #: Bug manifests only under specific interleavings: validated by
     #: schedule exploration, not by repeated free-running runs.
     schedule_sensitive: bool = False
+    #: Bug is only visible to the interprocedural layer (context
+    #: propagation / expression-call points): the intraprocedural mode
+    #: provably reports nothing.  ``tests/test_interproc.py`` asserts both
+    #: directions; the corpus-stability test excludes these cases.
+    interprocedural: bool = False
 
 
 _CASES = []
@@ -514,6 +519,104 @@ void main() {
     schedule_sensitive=True,
 )
 
+# -- interprocedural bugs (context-propagation seeds) ---------------------------------
+#
+# All three are invisible to the intraprocedural analysis: the offending
+# call is expression-level (``x = helper(x);`` has no CALL block and no
+# CollectiveSite), and each helper is clean under the empty context.  Only
+# the interprocedural layer — propagated context words, expression-call
+# sequence points, and call-path diagnostics — flags them.
+
+_case(
+    name="interproc_helper_in_parallel",
+    description="collective inside a helper called (expression-level) from "
+                "an omp parallel region: monothreaded under the empty "
+                "context, multithreaded under the propagated P context",
+    source="""
+int bump(int v) {
+    MPI_Barrier();
+    return v + 1;
+}
+
+void main() {
+    MPI_Init_thread(3);
+    int x = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        x = bump(x);
+    }
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MULTITHREADED,),
+    runtime_errors=(ThreadContextError, ConcurrentCollectiveError, DeadlockError),
+    raw_errors=(ConcurrentCollectiveError, DeadlockError),
+    deterministic=False,
+    interprocedural=True,
+)
+
+_case(
+    name="interproc_conditional_collective_helper",
+    description="rank-guarded expression call to an always-collective "
+                "helper: rank 0 executes one extra Allreduce — the "
+                "expression-call sequence point flags the guard, CC stops "
+                "the run before the deadlock",
+    source="""
+int sync_step(int v) {
+    float a = 1.0;
+    float b = 0.0;
+    MPI_Allreduce(a, b, "sum");
+    return v + 1;
+}
+
+void main() {
+    MPI_Init_thread(0);
+    int r = MPI_Comm_rank();
+    int x = 1;
+    if (r == 0) {
+        x = sync_step(x);
+    }
+    MPI_Barrier();
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MISMATCH,),
+    runtime_errors=(CollectiveMismatchError,),
+    raw_errors=(DeadlockError,),
+    interprocedural=True,
+)
+
+_case(
+    name="interproc_recursive_barrier",
+    description="recursive helper whose barrier is fine standalone but "
+                "multithreaded under the parallel calling context; the "
+                "recursion exercises the SCC fixpoint of the propagation",
+    source="""
+int spin(int n) {
+    if (n > 0) {
+        n = spin(n - 1);
+    }
+    MPI_Barrier();
+    return n;
+}
+
+void main() {
+    MPI_Init_thread(3);
+    int x = 2;
+    #pragma omp parallel num_threads(2)
+    {
+        x = spin(x);
+    }
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MULTITHREADED,),
+    runtime_errors=(ThreadContextError, ConcurrentCollectiveError, DeadlockError),
+    raw_errors=(ConcurrentCollectiveError, DeadlockError),
+    deterministic=False,
+    interprocedural=True,
+)
+
 # -- thread-level errors --------------------------------------------------------------
 
 _case(
@@ -578,3 +681,8 @@ def erroneous_cases() -> Dict[str, ErrorCase]:
 
 def schedule_sensitive_cases() -> Dict[str, ErrorCase]:
     return {n: c for n, c in CASES.items() if c.schedule_sensitive}
+
+
+def interprocedural_cases() -> Dict[str, ErrorCase]:
+    """Seeds only the interprocedural layer can flag statically."""
+    return {n: c for n, c in CASES.items() if c.interprocedural}

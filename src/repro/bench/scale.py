@@ -106,3 +106,79 @@ def scale_suite() -> Dict[str, str]:
     """Generated sources for the whole size sweep."""
     return {name: make_scale_program(**kwargs)  # type: ignore[arg-type]
             for name, kwargs in SCALE_SIZES.items()}
+
+
+# ---------------------------------------------------------------------------
+# Deep call trees (interprocedural-layer workload)
+# ---------------------------------------------------------------------------
+
+
+def make_calltree_program(depth: int = 16, width: int = 2,
+                          parallel_every: int = 4,
+                          seed: int = 20150207) -> str:
+    """A deep call tree: ``depth`` levels of ``width`` functions, every
+    function of level ``L`` calling every function of level ``L+1`` — half
+    as statement calls, half embedded in expressions (the form only the
+    interprocedural layer can see).  Every ``parallel_every``-th level wraps
+    its calls in ``parallel``/``single``, so context words accumulate down
+    the tree and the propagation fixpoint has real work to do; the leaves
+    run collectives.  Deterministic for a given parameter tuple."""
+    rng = random.Random((seed, depth, width, parallel_every).__repr__())
+    parts: List[str] = []
+    for level in range(depth - 1, -1, -1):
+        last = level == depth - 1
+        wrap = not last and parallel_every > 0 and level % parallel_every == (
+            parallel_every - 1)
+        for i in range(width):
+            lines = [f"int tier{level}_{i}(int v) {{"]
+            lines.append("    float acc = 1.0;")
+            lines.append("    float red = 0.0;")
+            lines.append(f"    v += {level + i};")
+            if last:
+                lines.append('    MPI_Allreduce(acc, red, "sum");')
+                if i == 0:
+                    lines.append("    MPI_Barrier();")
+            else:
+                calls: List[str] = []
+                for j in range(width):
+                    callee = f"tier{level + 1}_{j}"
+                    if (i + j) % 2 == 0:
+                        calls.append(f"v = {callee}(v);")  # expression call
+                    else:
+                        calls.append(f"{callee}(v);")
+                pad = "    "
+                if wrap:
+                    lines.append("    #pragma omp parallel")
+                    lines.append("    {")
+                    lines.append("        #pragma omp single")
+                    lines.append("        {")
+                    pad = "            "
+                for call in calls:
+                    lines.append(pad + call)
+                if wrap:
+                    lines.append("        }")
+                    lines.append("    }")
+                if rng.random() < 0.25:
+                    lines.append("    MPI_Barrier();")
+            lines.append("    return v;")
+            lines.append("}")
+            parts.append("\n".join(lines))
+    main_lines = ["void main() {", "    MPI_Init_thread(2);", "    int x = 1;"]
+    main_lines += [f"    x = tier0_{i}(x);" for i in range(width)]
+    main_lines += ["    MPI_Finalize();", "}"]
+    parts.append("\n".join(main_lines))
+    return "\n\n".join(parts) + "\n"
+
+
+#: The call-tree sweep the interprocedural benchmark charts.
+CALLTREE_SIZES: Dict[str, Dict[str, int]] = {
+    "D8": {"depth": 8, "width": 2},
+    "D16": {"depth": 16, "width": 2},
+    "D32": {"depth": 32, "width": 2},
+}
+
+
+def calltree_suite() -> Dict[str, str]:
+    """Generated sources for the call-tree sweep."""
+    return {name: make_calltree_program(**kwargs)
+            for name, kwargs in CALLTREE_SIZES.items()}

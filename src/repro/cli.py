@@ -3,12 +3,26 @@
 Subcommands::
 
     parcoach analyze FILE [--precision paper|counting] [--initial-context W]
-                          [--jobs N]
-        run the static analysis, print the warning report (exit 1 if warnings)
+                          [--jobs N] [--no-interprocedural]
+        run the static analysis, print the warning report (exit 1 if
+        warnings).  Interprocedural context propagation is on by default:
+        calling-context parallelism words flow over the call graph from the
+        entry functions (seeded by ``--initial-context``), each function is
+        analyzed once per distinct context, and diagnostics caused by a
+        non-empty context carry the witness call chain
+        (``main → worker → helper``).  ``--no-interprocedural`` restores the
+        paper's pure per-function analysis, where ``--initial-context``
+        applies to every function directly.
+    parcoach callgraph FILE [--dot] [--initial-context W]
+        print the call graph: per function the calling-context words, the
+        collective summary (always/conditionally/never executes each
+        collective), recursion markers and call sites (expression-level
+        calls marked ``expr``); ``--dot`` emits Graphviz instead
     parcoach batch FILE [FILE ...] [--precision P] [--jobs N] [--repeat R]
-                        [--no-cache] [--stats]
-        analyze many files through one memoized AnalysisEngine; one summary
-        line per file, cache statistics at the end (exit 1 if any warnings)
+                        [--no-cache] [--stats] [--no-interprocedural]
+        analyze many files through one memoized AnalysisEngine (with a
+        persistent worker pool when --jobs > 1); one summary line per file,
+        cache statistics at the end (exit 1 if any warnings)
     parcoach instrument FILE [-o OUT]
         emit the instrumented source
     parcoach run FILE [-np N] [-nt T] [--instrument] [--thread-level L]
@@ -45,11 +59,14 @@ from typing import List, Optional
 
 from .cfg import to_dot
 from .core import AnalysisEngine, analyze_program, instrument_program, render_report
+from .core.callgraph import callgraph_to_dot
+from .core.driver import build_plan
+from .core.sites import index_program
 from .minilang.parser import parse_program
 from .minilang.pretty import pretty
 from .minilang.semantics import check_program
 from .mpi.thread_levels import ThreadLevel
-from .parallelism import parse_word
+from .parallelism import EMPTY, format_word, parse_word
 from .runtime import run_program
 
 
@@ -69,42 +86,85 @@ def _load(path: str):
     return program
 
 
+def _initial_context(args, program):
+    """Map --initial-context onto the two analysis modes: the entry-seed
+    word interprocedurally, a per-function word intraprocedurally."""
+    word = parse_word(args.initial_context) if args.initial_context else EMPTY
+    if args.interprocedural:
+        return {}, word
+    if args.initial_context:
+        return {f.name: word for f in program.funcs}, EMPTY
+    return {}, EMPTY
+
+
 def _cmd_analyze(args) -> int:
     program = _load(args.file)
-    initial = {}
-    if args.initial_context:
-        word = parse_word(args.initial_context)
-        initial = {f.name: word for f in program.funcs}
+    initial, entry_context = _initial_context(args, program)
+    kwargs = dict(initial_words=initial, precision=args.precision,
+                  interprocedural=args.interprocedural,
+                  entry_context=entry_context)
     if args.jobs > 1:
-        engine = AnalysisEngine(jobs=args.jobs, cache=False)
-        analysis = engine.analyze(program, initial_words=initial,
-                                  precision=args.precision)
+        with AnalysisEngine(jobs=args.jobs, cache=False) as engine:
+            analysis = engine.analyze(program, **kwargs)
     else:
-        analysis = analyze_program(program, initial_words=initial,
-                                   precision=args.precision)
+        analysis = analyze_program(program, **kwargs)
     print(render_report(analysis, verbose=args.verbose), end="")
     return 1 if len(analysis.diagnostics) else 0
 
 
+def _cmd_callgraph(args) -> int:
+    program = _load(args.file)
+    entry_context = (parse_word(args.initial_context)
+                     if args.initial_context else EMPTY)
+    plan = build_plan(program, index_program(program),
+                      entry_context=entry_context)
+    graph, contexts, summaries = plan.graph, plan.contexts, plan.summaries
+    if args.dot:
+        text = callgraph_to_dot(graph, contexts, summaries)
+    else:
+        lines = [f"call graph of {args.file}: {len(graph.order)} functions, "
+                 f"{graph.n_edges} call edges; entries: {', '.join(graph.entries)}"]
+        for name in graph.order:
+            marks = " [recursive]" if name in graph.recursive else ""
+            if name in contexts.saturated:
+                marks += " [contexts saturated]"
+            ctx = " | ".join(format_word(w) for w in contexts.contexts[name])
+            lines.append(f"  {name}{marks}  contexts: {ctx}")
+            lines.append(f"    collectives: {summaries[name].describe()}")
+            for edge in graph.edges[name]:
+                kind = ", expr" if edge.expression else ""
+                lines.append(f"    calls {edge.callee} (line {edge.line}{kind})")
+        text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_batch(args) -> int:
-    engine = AnalysisEngine(jobs=args.jobs, cache=not args.no_cache)
     any_warnings = False
-    for _ in range(max(1, args.repeat)):
-        for path in args.files:
-            program = _load(path)
-            analysis = engine.analyze(program, precision=args.precision)
-            n = len(analysis.diagnostics)
-            any_warnings = any_warnings or n > 0
-            flagged = len(analysis.flagged_functions)
-            print(f"{path}: {len(analysis.functions)} functions, "
-                  f"{flagged} flagged, {n} warnings"
-                  + ("" if analysis.verified else " [NOT VERIFIED]"))
-    if args.stats:
-        info = engine.cache_info()
-        print(f"engine: {info['programs']} programs, {info['functions']} "
-              f"function analyses, {info['hits']} cache hits "
-              f"({info['remaps']} remapped), {info['misses']} misses, "
-              f"hit rate {info['hit_rate']:.1%}", file=sys.stderr)
+    with AnalysisEngine(jobs=args.jobs, cache=not args.no_cache) as engine:
+        for _ in range(max(1, args.repeat)):
+            for path in args.files:
+                program = _load(path)
+                analysis = engine.analyze(
+                    program, precision=args.precision,
+                    interprocedural=args.interprocedural)
+                n = len(analysis.diagnostics)
+                any_warnings = any_warnings or n > 0
+                flagged = len(analysis.flagged_functions)
+                print(f"{path}: {len(analysis.functions)} functions, "
+                      f"{flagged} flagged, {n} warnings"
+                      + ("" if analysis.verified else " [NOT VERIFIED]"))
+        if args.stats:
+            info = engine.cache_info()
+            print(f"engine: {info['programs']} programs, {info['functions']} "
+                  f"function analyses, {info['hits']} cache hits "
+                  f"({info['remaps']} remapped), {info['misses']} misses, "
+                  f"hit rate {info['hit_rate']:.1%}", file=sys.stderr)
     return 1 if any_warnings else 0
 
 
@@ -257,22 +317,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--precision", choices=("paper", "counting"), default="paper")
     p.add_argument("--initial-context", default="",
-                   help="initial parallelism word, e.g. 'P1' (paper's option)")
+                   help="initial parallelism word, e.g. 'P1' (paper's "
+                        "option); seeds the entry functions interprocedurally")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for per-function phases (default 1)")
+    p.add_argument("--interprocedural", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="propagate calling-context words over the call "
+                        "graph (default on)")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
+        "callgraph",
+        help="print the call graph with context words and collective summaries")
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz DOT instead of text")
+    p.add_argument("-o", "--output", help="write the output here instead of stdout")
+    p.add_argument("--initial-context", default="",
+                   help="parallelism word seeding the entry functions")
+    p.set_defaults(fn=_cmd_callgraph)
 
     p = sub.add_parser("batch",
                        help="analyze many files with a shared memoized engine")
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument("--precision", choices=("paper", "counting"), default="paper")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker processes for cache misses (default 1)")
+                   help="worker processes for cache misses (default 1; the "
+                        "pool persists across files)")
     p.add_argument("--repeat", type=int, default=1, metavar="R",
                    help="analyze the file list R times (cache warm-up demo)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the per-function analysis cache")
+    p.add_argument("--interprocedural", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="propagate calling-context words over the call "
+                        "graph (default on)")
     p.add_argument("--stats", action="store_true",
                    help="print engine cache statistics to stderr")
     p.set_defaults(fn=_cmd_batch)

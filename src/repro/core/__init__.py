@@ -1,6 +1,14 @@
 """The paper's contribution: PARCOACH static analysis + instrumentation for
 MPI collectives in multi-threaded (MPI+OpenMP) context."""
 
+from .callgraph import (
+    CallGraph,
+    ContextMap,
+    FunctionSummary,
+    build_call_graph,
+    collective_summaries,
+    propagate_contexts,
+)
 from .concurrency import ConcurrencyResult, analyze_concurrency, words_concurrent
 from .diagnostics import Diagnostic, DiagnosticBag, ErrorCode, SourceRef
 from .driver import FunctionAnalysis, ProgramAnalysis, analyze_program
@@ -15,6 +23,12 @@ __all__ = [
     "AnalysisEngine",
     "EngineStats",
     "ast_fingerprint",
+    "CallGraph",
+    "ContextMap",
+    "FunctionSummary",
+    "build_call_graph",
+    "collective_summaries",
+    "propagate_contexts",
     "ConcurrencyResult",
     "analyze_concurrency",
     "words_concurrent",

@@ -1,0 +1,523 @@
+"""Interprocedural layer: call graph, context propagation, summaries.
+
+The per-function phases (:mod:`repro.core.driver`) are intraprocedural,
+PARCOACH-style: each function is analyzed under one initial parallelism word
+(empty unless the user supplies ``--initial-context``).  That misses exactly
+the hybrid scenarios the paper targets — a collective inside a helper called
+from an ``omp parallel`` region is silently treated as monothreaded.  This
+module closes the gap with three whole-program passes:
+
+* **Call graph** — every call edge of the program, including calls embedded
+  in expressions (``x = helper(x);``, conditions, arguments), which have no
+  ``CALL`` basic block and are invisible to the intraprocedural phases.
+  Strongly connected components (Tarjan) condense recursion.
+
+* **Context propagation** — a worklist fixpoint computing, per function, the
+  *set* of calling-context parallelism words: the word in effect at every
+  call site, seeded at the entry functions (``main`` / functions nobody
+  calls) with the ``--initial-context`` word.  Context words are
+  *canonicalized* (region ids renumbered to -1, -2, ... in first-occurrence
+  order) so they are stable across re-parses — the analysis engine keys its
+  cache on them — and can never collide with the callee's own AST uids.
+  Each ``(function, word)`` pair records one witness call chain
+  (``main → worker → helper``) for diagnostics.  Degenerate context growth
+  (a barrier-appending recursion under ``parallel``) is bounded by
+  :data:`MAX_CONTEXTS` / :data:`MAX_CONTEXT_LEN`; functions that hit the
+  bound are marked ``saturated`` and keep the contexts found so far.
+
+* **Collective summaries** — per function and collective name, one of
+  ``always`` / ``conditional`` / ``never``: whether every / some / no
+  execution of the function runs the collective.  Computed by a fixpoint
+  over the SCC DAG in reverse topological order (callees first; members of a
+  cyclic SCC iterate until stable from an optimistic ``never`` start, so
+  recursion is handled soundly).  ``may`` is exact on the AST; ``must`` is a
+  conservative under-approximation (loops and early exits demote to
+  ``conditional``).  The driver uses the summaries to turn expression-level
+  calls to collective-executing helpers into phase-3 sequence points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..minilang import ast_nodes as A
+from ..mpi.collectives import is_collective
+from ..parallelism import EMPTY, Word, compute_words
+from ..parallelism.word import B, P, S
+from .sites import ProgramIndex, index_program
+
+#: Bounds for the context-propagation fixpoint (per function).
+MAX_CONTEXTS = 16
+MAX_CONTEXT_LEN = 24
+
+#: Summary classes, ordered never < conditional < always.
+NEVER = "never"
+CONDITIONAL = "conditional"
+ALWAYS = "always"
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site: ``caller`` invokes ``callee``.
+
+    ``anchor_uids`` is the chain of enclosing-statement uids (innermost
+    first) — the first one with a parallelism word / CFG block anchors the
+    call.  ``expression`` is True for calls embedded in expressions (no
+    ``CALL`` block, no :class:`~repro.core.sites.CollectiveSite`).
+    """
+
+    caller: str
+    callee: str
+    anchor_uids: Tuple[int, ...]
+    anchor_pos: int
+    line: int
+    expression: bool
+
+
+@dataclass
+class CallGraph:
+    """Explicit call graph of one program (user functions only)."""
+
+    #: Function names in source order.
+    order: List[str]
+    #: caller -> its call edges, in source order.
+    edges: Dict[str, List[CallEdge]]
+    #: callee -> incoming edges.
+    callers: Dict[str, List[CallEdge]]
+    #: Functions nobody calls (analysis entry points; ``main`` is always an
+    #: entry even when called, so a recursive main stays seeded).
+    entries: List[str]
+    #: SCCs in reverse topological order (callees before callers).
+    sccs: List[Tuple[str, ...]]
+    #: function -> index into ``sccs``.
+    scc_of: Dict[str, int]
+    #: Members of a cyclic SCC (including self-recursion).
+    recursive: FrozenSet[str]
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(e) for e in self.edges.values())
+
+
+def build_call_graph(program: A.Program,
+                     index: Optional[ProgramIndex] = None) -> CallGraph:
+    """Build the program's call graph from *all* call nodes."""
+    if index is None:
+        index = index_program(program)
+    order = [f.name for f in program.funcs]
+    names = set(order)
+    edges: Dict[str, List[CallEdge]] = {name: [] for name in order}
+    callers: Dict[str, List[CallEdge]] = {name: [] for name in order}
+
+    for name in order:
+        stmt_calls = {id(s.expr): s for s in index.call_stmts.get(name, [])}
+        expr_sites = {id(s.call): s for s in index.expr_calls.get(name, [])}
+        for call in index.calls.get(name, []):
+            if call.name not in names:
+                continue
+            stmt = stmt_calls.get(id(call))
+            if stmt is not None:
+                edge = CallEdge(caller=name, callee=call.name,
+                                anchor_uids=(stmt.uid,), anchor_pos=-1,
+                                line=stmt.line or call.line, expression=False)
+            else:
+                site = expr_sites[id(call)]
+                edge = CallEdge(caller=name, callee=call.name,
+                                anchor_uids=site.stmt_uids,
+                                anchor_pos=site.stmt_pos,
+                                line=site.line, expression=True)
+            edges[name].append(edge)
+            callers[call.name].append(edge)
+
+    entries = [n for n in order if not callers[n] or n == "main"]
+    if not entries:  # every function called: fall back to source order head
+        entries = order[:1]
+
+    sccs, scc_of = _tarjan(order, edges)
+    recursive = frozenset(
+        n for scc in sccs for n in scc
+        if len(scc) > 1 or any(e.callee == n for e in edges[n])
+    )
+    return CallGraph(order=order, edges=edges, callers=callers,
+                     entries=entries, sccs=sccs, scc_of=scc_of,
+                     recursive=recursive)
+
+
+def _tarjan(order: List[str],
+            edges: Dict[str, List[CallEdge]]) -> Tuple[List[Tuple[str, ...]],
+                                                       Dict[str, int]]:
+    """Iterative Tarjan SCC; components come out in reverse topological
+    order (every callee SCC before its caller SCCs)."""
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    counter = [0]
+
+    for root in order:
+        if root in index_of:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, ei = work.pop()
+            if ei == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = [e.callee for e in edges[node]]
+            while ei < len(succs):
+                succ = succs[ei]
+                ei += 1
+                if succ not in index_of:
+                    work.append((node, ei))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if recurse:
+                continue
+            if low[node] == index_of[node]:
+                comp: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(comp)))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    scc_of = {n: i for i, scc in enumerate(sccs) for n in scc}
+    return sccs, scc_of
+
+
+# ---------------------------------------------------------------------------
+# Context propagation
+# ---------------------------------------------------------------------------
+
+
+def canonical_word(word: Word) -> Word:
+    """Renumber the region ids of ``word`` to -1, -2, ... in first-occurrence
+    order.  Canonical words are stable across re-parses (uids are not) and
+    their negative ids can never collide with real AST uids, so a context
+    prefix stays distinguishable from the callee's own constructs."""
+    mapping: Dict[int, int] = {}
+    out: List = []
+    for token in word:
+        if isinstance(token, B):
+            out.append(token)
+            continue
+        rid = mapping.get(token.region_id)
+        if rid is None:
+            rid = -(len(mapping) + 1)
+            mapping[token.region_id] = rid
+        if isinstance(token, P):
+            out.append(P(rid))
+        else:
+            out.append(S(rid, token.kind))
+    return tuple(out)
+
+
+def _word_sort_key(word: Word):
+    return (len(word), tuple(str(t) for t in word))
+
+
+@dataclass
+class ContextMap:
+    """Result of context propagation."""
+
+    #: function -> canonical context words, sorted (empty word first).
+    contexts: Dict[str, Tuple[Word, ...]]
+    #: (function, word) -> witness call chain from an entry (inclusive).
+    chains: Dict[Tuple[str, Word], Tuple[str, ...]]
+    #: Functions whose context set hit MAX_CONTEXTS / MAX_CONTEXT_LEN.
+    saturated: FrozenSet[str] = frozenset()
+
+
+def propagate_contexts(program: A.Program, graph: CallGraph,
+                       seeds: Optional[Dict[str, Word]] = None,
+                       entry_context: Word = EMPTY) -> ContextMap:
+    """Worklist fixpoint over the call graph.
+
+    ``entry_context`` seeds every entry function (the CLI's
+    ``--initial-context``); ``seeds`` adds per-function extra contexts (the
+    programmatic ``initial_words`` of :func:`analyze_program`).  Every
+    function ends with at least one context: unreached ones (dead cycles)
+    fall back to the entry context.
+    """
+    seeds = seeds or {}
+    funcs = {f.name: f for f in program.funcs}
+    contexts: Dict[str, Dict[Word, Tuple[str, ...]]] = {n: {} for n in graph.order}
+    saturated: Set[str] = set()
+    worklist: Deque[Tuple[str, Word]] = deque()
+
+    def add(name: str, word: Word, chain: Tuple[str, ...]) -> None:
+        known = contexts[name]
+        if word in known:
+            return
+        if len(known) >= MAX_CONTEXTS or len(word) > MAX_CONTEXT_LEN:
+            saturated.add(name)
+            return
+        known[word] = chain
+        worklist.append((name, word))
+
+    for name in graph.order:
+        if name in graph.entries:
+            add(name, canonical_word(entry_context), (name,))
+        if name in seeds:
+            add(name, canonical_word(seeds[name]), (name,))
+
+    word_cache: Dict[Tuple[str, Word], Dict[int, Word]] = {}
+    while worklist:
+        name, word = worklist.popleft()
+        if not graph.edges[name]:
+            continue
+        key = (name, word)
+        words = word_cache.get(key)
+        if words is None:
+            words = compute_words(funcs[name], word).words
+            word_cache[key] = words
+        chain = contexts[name][word]
+        for edge in graph.edges[name]:
+            anchor = next((u for u in edge.anchor_uids if u in words), None)
+            at_call = words[anchor] if anchor is not None else word
+            add(edge.callee, canonical_word(at_call), chain + (edge.callee,))
+
+    fallback = canonical_word(entry_context)
+    for name in graph.order:
+        if not contexts[name]:
+            contexts[name][fallback] = (name,)
+
+    ordered = {
+        name: tuple(sorted(words, key=_word_sort_key))
+        for name, words in contexts.items()
+    }
+    chains = {
+        (name, word): chain
+        for name, words in contexts.items()
+        for word, chain in words.items()
+    }
+    return ContextMap(contexts=ordered, chains=chains,
+                      saturated=frozenset(saturated))
+
+
+# ---------------------------------------------------------------------------
+# Collective summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionSummary:
+    """Which collectives a function executes, and how reliably."""
+
+    #: Collective name -> ALWAYS | CONDITIONAL (NEVER entries are omitted).
+    collectives: Dict[str, str] = field(default_factory=dict)
+
+    def classify(self, name: str) -> str:
+        return self.collectives.get(name, NEVER)
+
+    @property
+    def may_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.collectives))
+
+    def describe(self) -> str:
+        if not self.collectives:
+            return "no collectives"
+        return ", ".join(f"{n} [{c}]" for n, c in sorted(self.collectives.items()))
+
+
+def _summarize_block(stmts: List[A.Stmt], summaries: Dict[str, FunctionSummary],
+                     names: Set[str]) -> Tuple[Set[str], Set[str], bool]:
+    """Return ``(may, must, exits_early)`` for a statement sequence.
+
+    ``must`` is a conservative under-approximation: accumulation stops at
+    the first statement that can leave the sequence early (return / break /
+    continue), and loops contribute nothing (zero-trip possibility).
+    """
+    may: Set[str] = set()
+    must: Set[str] = set()
+    exited = False
+    for stmt in stmts:
+        s_may, s_must, s_exit = _summarize_stmt(stmt, summaries, names)
+        may |= s_may
+        if not exited:
+            must |= s_must
+        if s_exit:
+            exited = True
+    return may, must, exited
+
+
+def _calls_in_exprs(stmt: A.Stmt) -> List[A.Call]:
+    """Call nodes hanging off ``stmt``'s expression fields (not nested
+    statements) — pre-order, source order."""
+    out: List[A.Call] = []
+    stack: List[A.Node] = [
+        child for child in stmt.children() if isinstance(child, A.Expr)
+    ]
+    stack.reverse()
+    while stack:
+        node = stack.pop()
+        if isinstance(node, A.Call):
+            out.append(node)
+        stack.extend(reversed([c for c in node.children()
+                               if isinstance(c, A.Expr)]))
+    return out
+
+
+def _call_effect(call: A.Call, summaries: Dict[str, FunctionSummary],
+                 names: Set[str]) -> Tuple[Set[str], Set[str]]:
+    if is_collective(call.name):
+        return {call.name}, {call.name}
+    if call.name in names:
+        summary = summaries.get(call.name)
+        if summary is not None:
+            may = set(summary.collectives)
+            must = {n for n, c in summary.collectives.items() if c == ALWAYS}
+            return may, must
+    return set(), set()
+
+
+def _summarize_stmt(stmt: A.Stmt, summaries: Dict[str, FunctionSummary],
+                    names: Set[str]) -> Tuple[Set[str], Set[str], bool]:
+    may: Set[str] = set()
+    must: Set[str] = set()
+    for call in _calls_in_exprs(stmt):
+        c_may, c_must = _call_effect(call, summaries, names)
+        may |= c_may
+        must |= c_must
+
+    if isinstance(stmt, (A.Return, A.Break, A.Continue)):
+        return may, must, True
+    if isinstance(stmt, A.Block):
+        b_may, b_must, b_exit = _summarize_block(stmt.stmts, summaries, names)
+        return may | b_may, must | b_must, b_exit
+    if isinstance(stmt, A.If):
+        t_may, t_must, t_exit = _summarize_block(stmt.then_body.stmts,
+                                                 summaries, names)
+        may |= t_may
+        if stmt.else_body is not None:
+            e_may, e_must, e_exit = _summarize_block(stmt.else_body.stmts,
+                                                     summaries, names)
+            may |= e_may
+            must |= t_must & e_must
+            return may, must, t_exit or e_exit
+        return may, must, t_exit
+    if isinstance(stmt, A.While):
+        body_may, _must, _exit = _summarize_block(stmt.body.stmts, summaries, names)
+        return may | body_may, must, False
+    if isinstance(stmt, (A.For, A.OmpFor)):
+        loop = stmt.loop if isinstance(stmt, A.OmpFor) else stmt
+        if loop.init is not None:  # runs once, before the first test
+            i_may, i_must, _exit = _summarize_stmt(loop.init, summaries, names)
+            may |= i_may
+            must |= i_must
+        if isinstance(stmt, A.OmpFor) and loop.cond is not None:
+            # The inner For is a statement child, so its condition was not
+            # picked up by the expression scan above.
+            for call in _calls_in_exprs(loop):
+                c_may, _c_must, = _call_effect(call, summaries, names)
+                may |= c_may
+        if loop.step is not None:  # zero-trip loops skip it: may only
+            s_may, _s_must, _exit = _summarize_stmt(loop.step, summaries, names)
+            may |= s_may
+        body_may, _must, _exit = _summarize_block(loop.body.stmts, summaries, names)
+        return may | body_may, must, False
+    if isinstance(stmt, A.OmpTask):
+        # Deferred execution: counts as "may", never as "must".
+        body_may, _must, _exit = _summarize_block(stmt.body.stmts, summaries, names)
+        return may | body_may, must, False
+    if isinstance(stmt, (A.OmpParallel, A.OmpSingle, A.OmpMaster, A.OmpCritical)):
+        # Per MPI process the region body executes (by the team, one thread,
+        # or the master — all at least once per process).
+        b_may, b_must, _exit = _summarize_block(stmt.body.stmts, summaries, names)
+        return may | b_may, must | b_must, False
+    if isinstance(stmt, A.OmpSections):
+        for section in stmt.sections:
+            s_may, s_must, _exit = _summarize_block(section.stmts, summaries, names)
+            may |= s_may
+            must |= s_must
+        return may, must, False
+    return may, must, False
+
+
+def collective_summaries(program: A.Program,
+                         graph: Optional[CallGraph] = None
+                         ) -> Dict[str, FunctionSummary]:
+    """Always/conditionally/never summaries for every function — fixpoint
+    over the SCC DAG, callees first; cyclic SCCs iterate until stable."""
+    if graph is None:
+        graph = build_call_graph(program)
+    funcs = {f.name: f for f in program.funcs}
+    names = set(funcs)
+    summaries: Dict[str, FunctionSummary] = {n: FunctionSummary() for n in names}
+
+    def recompute(name: str) -> Dict[str, str]:
+        may, must, _exit = _summarize_block(funcs[name].body.stmts,
+                                            summaries, names)
+        return {n: (ALWAYS if n in must else CONDITIONAL) for n in sorted(may)}
+
+    for scc in graph.sccs:  # reverse topological: callees already final
+        members = list(scc)
+        changed = True
+        while changed:
+            changed = False
+            for name in members:
+                new = recompute(name)
+                if new != summaries[name].collectives:
+                    summaries[name].collectives = new
+                    changed = True
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Graphviz export (same style as cfg/dot.py)
+# ---------------------------------------------------------------------------
+
+_SUMMARY_COLORS = {
+    ALWAYS: "gold",
+    CONDITIONAL: "khaki",
+    NEVER: "white",
+}
+
+
+def callgraph_to_dot(graph: CallGraph, contexts: ContextMap,
+                     summaries: Dict[str, FunctionSummary]) -> str:
+    """Render the call graph as a DOT digraph: one node per function labeled
+    with its context words and collective summary (gold = always executes a
+    collective, khaki = conditionally, white = never; a doubled border marks
+    recursion), one edge per call site (dashed = expression-level call)."""
+    from ..parallelism import format_word  # local import: avoid cycle noise
+
+    lines = ['digraph "callgraph" {', "  node [shape=box, style=filled];"]
+    for name in graph.order:
+        summary = summaries[name]
+        worst = NEVER
+        for cls in summary.collectives.values():
+            if cls == ALWAYS:
+                worst = ALWAYS
+            elif worst != ALWAYS:
+                worst = CONDITIONAL
+        color = _SUMMARY_COLORS[worst]
+        ctx = " | ".join(format_word(w) for w in contexts.contexts[name])
+        label = f"{name}\\nctx: {ctx}\\n{summary.describe()}"
+        extra = ", peripheries=2" if name in graph.recursive else ""
+        lines.append(f'  "{name}" [label="{label}", fillcolor={color}{extra}];')
+    for name in graph.order:
+        for edge in graph.edges[name]:
+            style = " [style=dashed]" if edge.expression else ""
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

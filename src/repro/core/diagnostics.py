@@ -43,6 +43,10 @@ class Diagnostic:
     severity: str = "warning"
     #: Parallelism word(s) involved, pre-formatted (context for the user).
     context: str = ""
+    #: Witness call chain from an entry function to the offending function
+    #: (attached by the interprocedural layer when the calling context is
+    #: what makes the finding possible).
+    call_path: Tuple[str, ...] = ()
 
     def render(self) -> str:
         parts = [f"[{self.code.value}] {self.function}: {self.message}"]
@@ -53,6 +57,8 @@ class Diagnostic:
             parts.append(f"  control-flow divergence at line(s): {lines}")
         if self.context:
             parts.append(f"  context: {self.context}")
+        if self.call_path:
+            parts.append("  call path: " + " → ".join(self.call_path))
         return "\n".join(parts)
 
     def __str__(self) -> str:

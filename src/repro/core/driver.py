@@ -6,6 +6,19 @@ program-level passes: collective call graph, MPI thread-level check against
 ``MPI_Init_thread``, check-group assignment, and the selective
 instrumentation plan (which functions get CC/ENTER checks).
 
+Interprocedural context propagation (default on, see
+:mod:`repro.core.callgraph`): instead of analyzing every function under the
+empty (monothreaded) parallelism word, the driver first computes, per
+function, the set of calling-context words reaching it over the call graph
+(seeded at ``main``/entries with ``entry_context``), then analyzes the
+function *once per distinct context word* and merges the per-context
+artifacts.  Diagnostics produced under a non-empty context carry the witness
+call chain (``main → worker → helper``).  Calls embedded in expressions —
+which have no ``CALL`` block and are invisible to the intraprocedural
+phases — become phase-3 sequence points when the callee's summary says it
+executes collectives.  ``interprocedural=False`` restores the paper's pure
+per-function behaviour.
+
 Selective instrumentation rule: a function is instrumented when any phase
 flagged it, or when it may execute collectives and is transitively callable
 from a flagged function (keeps the CC pairing aligned across processes
@@ -14,16 +27,18 @@ while leaving fully verified call trees untouched — the property Figure 1's
 
 The module is split so the batch engine (:mod:`repro.core.engine`) can reuse
 the pieces: :func:`_analyze_function` is the pure per-function pipeline (no
-shared state — safe to run in a process pool), ``_assemble`` is the
-program-level synthesis, and :func:`analyze_program` wires both together for
-the classic one-shot call.  For memoized / parallel batch analysis use
+shared state — safe to run in a process pool), :func:`build_plan` computes
+the interprocedural plan, :func:`_merge_artifacts` folds per-context
+artifacts together, ``_assemble`` is the program-level synthesis, and
+:func:`analyze_program` wires everything together for the classic one-shot
+call.  For memoized / parallel batch analysis use
 :class:`repro.core.engine.AnalysisEngine` (or ``parcoach analyze --jobs`` /
 ``parcoach batch`` from the CLI).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..cfg import CFG, build_cfg
@@ -31,6 +46,14 @@ from ..minilang import ast_nodes as A
 from ..mpi.collectives import COLLECTIVES
 from ..mpi.thread_levels import LEVEL_FROM_INT, ThreadLevel
 from ..parallelism import EMPTY, Word, WordInfo, compute_words, is_monothreaded
+from .callgraph import (
+    CallGraph,
+    ContextMap,
+    FunctionSummary,
+    build_call_graph,
+    collective_summaries,
+    propagate_contexts,
+)
 from .concurrency import ConcurrencyResult, analyze_concurrency
 from .diagnostics import Diagnostic, DiagnosticBag, ErrorCode, SourceRef
 from .monothread import MonothreadResult, analyze_monothread
@@ -66,6 +89,12 @@ class FunctionAnalysis:
     cc_sites: Set[int] = field(default_factory=set)
     #: Site uids whose context is multithreaded (ENTER aborts >1 threads).
     multithreaded_sites: Set[int] = field(default_factory=set)
+    #: Calling-context words this function was analyzed under (one entry —
+    #: the empty word — in intraprocedural mode).
+    context_words: Tuple[Word, ...] = (EMPTY,)
+    #: Per-context word maps, aligned with ``context_words`` (``word_info``
+    #: is the first one).
+    word_infos: Tuple[WordInfo, ...] = ()
 
     @property
     def n_collectives(self) -> int:
@@ -83,6 +112,12 @@ class ProgramAnalysis:
     #: Check-group id -> "multithread" | "concurrent" (selects the runtime
     #: error type raised when the group's counter overlaps).
     group_kinds: Dict[int, str] = field(default_factory=dict)
+    #: True when interprocedural context propagation ran.
+    interprocedural: bool = False
+    #: The call graph / summaries the interprocedural layer computed
+    #: (``None`` in intraprocedural mode).
+    callgraph: Optional[CallGraph] = None
+    summaries: Optional[Dict[str, FunctionSummary]] = None
 
     @property
     def flagged_functions(self) -> List[str]:
@@ -125,6 +160,58 @@ def _call_edges(program: A.Program, index: ProgramIndex) -> Dict[str, Set[str]]:
 
 
 # ---------------------------------------------------------------------------
+# Interprocedural plan
+# ---------------------------------------------------------------------------
+
+#: One expression-call sequence point: (anchor-uid chain, point name).
+ExtraPoint = Tuple[Tuple[int, ...], str]
+
+
+@dataclass
+class InterproceduralPlan:
+    """Everything the interprocedural layer feeds into the per-function
+    pipeline and the program-level synthesis."""
+
+    graph: CallGraph
+    contexts: ContextMap
+    summaries: Dict[str, FunctionSummary]
+    #: func -> expression-call sequence points (anchor chain + name).
+    extra_points: Dict[str, Tuple[ExtraPoint, ...]]
+    #: func -> structural (uid-free) cache token for the extra points.
+    extra_tokens: Dict[str, Tuple[Tuple[int, str], ...]]
+
+
+def build_plan(program: A.Program, index: ProgramIndex,
+               initial_words: Optional[Dict[str, Word]] = None,
+               entry_context: Word = EMPTY) -> InterproceduralPlan:
+    """Call graph + context propagation + summaries + expression-call
+    sequence points for one program."""
+    graph = build_call_graph(program, index)
+    contexts = propagate_contexts(program, graph, seeds=initial_words,
+                                  entry_context=entry_context)
+    summaries = collective_summaries(program, graph)
+    extra_points: Dict[str, Tuple[ExtraPoint, ...]] = {}
+    extra_tokens: Dict[str, Tuple[Tuple[int, str], ...]] = {}
+    for name in graph.order:
+        points: List[ExtraPoint] = []
+        token: List[Tuple[int, str]] = []
+        for edge in graph.edges[name]:
+            if not edge.expression:
+                continue  # statement calls already have a CALL block
+            if not summaries[edge.callee].collectives:
+                continue
+            points.append((edge.anchor_uids, f"call:{edge.callee}"))
+            token.append((edge.anchor_pos, f"call:{edge.callee}"))
+        if points:
+            extra_points[name] = tuple(points)
+            extra_tokens[name] = tuple(sorted(token))
+    return InterproceduralPlan(graph=graph, contexts=contexts,
+                               summaries=summaries,
+                               extra_points=extra_points,
+                               extra_tokens=extra_tokens)
+
+
+# ---------------------------------------------------------------------------
 # Per-function pipeline (pure — no shared state, process-pool friendly)
 # ---------------------------------------------------------------------------
 
@@ -158,8 +245,9 @@ def _analyze_function(
     precision: str,
     call_stmts: Optional[List[A.ExprStmt]] = None,
     prebuilt: Optional[Tuple[CFG, Dict[int, int]]] = None,
+    extra_points: Optional[Tuple[ExtraPoint, ...]] = None,
 ) -> FunctionArtifacts:
-    """Run all per-function phases for one function."""
+    """Run all per-function phases for one function under one context word."""
     if prebuilt is not None:
         cfg, ast_block = prebuilt
     else:
@@ -168,7 +256,16 @@ def _analyze_function(
     sites = collect_sites(func, collective_funcs, call_stmts)
     mono = analyze_monothread(func, info, sites)
     conc = analyze_concurrency(func, info, sites)
-    seq = analyze_sequence(func.name, cfg, collective_funcs, precision)
+    seq_extra: Optional[Dict[str, List[int]]] = None
+    if extra_points:
+        seq_extra = {}
+        for anchor_uids, name in extra_points:
+            block = next((ast_block[u] for u in anchor_uids if u in ast_block),
+                         None)
+            if block is not None:
+                seq_extra.setdefault(name, []).append(block)
+    seq = analyze_sequence(func.name, cfg, collective_funcs, precision,
+                           extra_points=seq_extra)
     flagged = bool(
         mono.multithreaded_sites or conc.concurrent_pairs or seq.conditionals
     )
@@ -179,6 +276,139 @@ def _analyze_function(
     )
 
 
+# ---------------------------------------------------------------------------
+# Per-context artifact merging
+# ---------------------------------------------------------------------------
+
+
+def _diag_identity(diag: Diagnostic) -> tuple:
+    """Dedup key for context-merged diagnostics (ignores the call path: the
+    same finding reached over two chains is reported once)."""
+    return (diag.code, diag.function, diag.message, diag.collectives,
+            diag.conditionals, diag.severity, diag.context)
+
+
+def _with_chain(diags: List[Diagnostic],
+                chain: Tuple[str, ...]) -> List[Diagnostic]:
+    if len(chain) < 2:
+        return diags
+    return [replace(d, call_path=chain) for d in diags]
+
+
+def _merge_artifacts(
+    parts: List[Tuple[Word, FunctionArtifacts]],
+    chains: Dict[Word, Tuple[str, ...]],
+) -> Tuple[FunctionArtifacts, Tuple[Word, ...], Tuple[WordInfo, ...]]:
+    """Fold the per-context artifacts of one function into a single view.
+
+    With one empty-context part this is the identity (byte-for-byte the
+    intraprocedural result — cached objects pass through untouched).
+    Otherwise a fresh :class:`FunctionArtifacts` is built: sites/CFG come
+    from the first context, phase results are unioned (deduplicating by site
+    uid / diagnostic identity), and every diagnostic produced under a
+    non-empty context gets that context's witness call chain attached
+    (copies — cached artifacts are shared and must not be mutated).
+    """
+    words = tuple(w for w, _art in parts)
+    infos = tuple(art.word_info for _w, art in parts)
+    if len(parts) == 1:
+        word, art = parts[0]
+        chain = chains.get(word, ())
+        if word == EMPTY or len(chain) < 2:
+            return art, words, infos
+        merged = replace(
+            art,
+            monothread=replace(art.monothread, diagnostics=_with_chain(
+                art.monothread.diagnostics, chain)),
+            concurrency=replace(art.concurrency, diagnostics=_with_chain(
+                art.concurrency.diagnostics, chain)),
+            sequence=replace(art.sequence, diagnostics=_with_chain(
+                art.sequence.diagnostics, chain)),
+        )
+        return merged, words, infos
+
+    base = parts[0][1]
+    mono = MonothreadResult()
+    conc = ConcurrencyResult()
+    seq = SequenceResult()
+    seen_sites: Set[int] = set()
+    seen_pairs: Set[Tuple[int, int]] = set()
+    seen_diags: Set[tuple] = set()
+    flagged = False
+
+    def extend_diags(out: List[Diagnostic], diags: List[Diagnostic],
+                     word: Word) -> None:
+        chain = chains.get(word, ())
+        for diag in _with_chain(list(diags), chain) if word != EMPTY else diags:
+            key = _diag_identity(diag)
+            if key in seen_diags:
+                continue
+            seen_diags.add(key)
+            out.append(diag)
+
+    for word, art in parts:
+        flagged = flagged or art.flagged
+        for site in art.monothread.multithreaded_sites:
+            if site.uid not in seen_sites:
+                seen_sites.add(site.uid)
+                mono.multithreaded_sites.append(site)
+        mono.sipw_uids |= art.monothread.sipw_uids
+        for uid, level in art.monothread.required_levels.items():
+            if uid not in mono.required_levels or mono.required_levels[uid] < level:
+                mono.required_levels[uid] = level
+        extend_diags(mono.diagnostics, art.monothread.diagnostics, word)
+
+        for pair in art.concurrency.concurrent_pairs:
+            if pair not in seen_pairs:
+                seen_pairs.add(pair)
+                conc.concurrent_pairs.append(pair)
+        conc.scc_uids |= art.concurrency.scc_uids
+        extend_diags(conc.diagnostics, art.concurrency.diagnostics, word)
+
+        for name, finding in art.sequence.findings.items():
+            merged_finding = seq.findings.get(name)
+            if merged_finding is None:
+                seq.findings[name] = replace(
+                    finding,
+                    divergence_blocks=set(finding.divergence_blocks),
+                    suppressed_blocks=set(finding.suppressed_blocks),
+                )
+            else:
+                merged_finding.divergence_blocks |= finding.divergence_blocks
+                merged_finding.suppressed_blocks |= finding.suppressed_blocks
+        seq.conditionals |= art.sequence.conditionals
+        extend_diags(seq.diagnostics, art.sequence.diagnostics, word)
+
+    # Concurrency groups: connected components over the merged pair set.
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in conc.concurrent_pairs:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+    for uid in parent:
+        conc.groups[uid] = find(uid)
+
+    merged = FunctionArtifacts(
+        func=base.func, cfg=base.cfg, ast_block=base.ast_block,
+        word_info=base.word_info, sites=base.sites,
+        monothread=mono, concurrency=conc, sequence=seq, flagged=flagged,
+    )
+    return merged, words, infos
+
+
+# ---------------------------------------------------------------------------
+# Program-level synthesis
+# ---------------------------------------------------------------------------
+
+
 def _assemble(
     program: A.Program,
     index: ProgramIndex,
@@ -187,6 +417,9 @@ def _assemble(
     precision: str,
     instrument_all: bool,
     requested: Optional[ThreadLevel],
+    plan: Optional[InterproceduralPlan] = None,
+    context_info: Optional[Dict[str, Tuple[Tuple[Word, ...],
+                                           Tuple[WordInfo, ...]]]] = None,
 ) -> ProgramAnalysis:
     """Program-level synthesis: diagnostics bag, check groups, thread-level
     comparison, and the selective instrumentation plan.
@@ -201,11 +434,15 @@ def _assemble(
 
     for func in program.funcs:
         art = artifacts[func.name]
+        words, infos = (EMPTY,), ()
+        if context_info is not None and func.name in context_info:
+            words, infos = context_info[func.name]
         fa = FunctionAnalysis(
             func=func, cfg=art.cfg, ast_block=art.ast_block,
             word_info=art.word_info, sites=art.sites,
             monothread=art.monothread, concurrency=art.concurrency,
             sequence=art.sequence, flagged=art.flagged,
+            context_words=words, word_infos=infos,
         )
 
         # Check-group assignment: one group per multithreaded site, one per
@@ -277,6 +514,9 @@ def _assemble(
         program=program, functions=functions, diagnostics=diagnostics,
         collective_funcs=collective_funcs, requested_level=requested,
         precision=precision, group_kinds=group_kinds,
+        interprocedural=plan is not None,
+        callgraph=plan.graph if plan is not None else None,
+        summaries=plan.summaries if plan is not None else None,
     )
 
 
@@ -286,6 +526,8 @@ def analyze_program(
     precision: str = "paper",
     instrument_all: bool = False,
     cfgs: Optional[Dict[str, tuple]] = None,
+    interprocedural: bool = True,
+    entry_context: Word = EMPTY,
 ) -> ProgramAnalysis:
     """Run the full static analysis (one-shot, no caching).
 
@@ -293,7 +535,9 @@ def analyze_program(
     ----------
     initial_words:
         Per-function initial parallelism word (the paper's initial-level
-        option).  Functions default to the empty (monothreaded) word.
+        option).  In interprocedural mode these are *additional* seed
+        contexts for the named functions; in intraprocedural mode each
+        function is analyzed under exactly this word (default empty).
     precision:
         Passed to phase 3 (``"paper"`` or ``"counting"``).
     instrument_all:
@@ -304,18 +548,47 @@ def analyze_program(
         Pre-built CFGs (``{name: (cfg, ast_block)}``) from the compiler's
         middle end; PARCOACH reuses them instead of rebuilding (the paper's
         pass works directly on GCC's CFG).
+    interprocedural:
+        Propagate calling-context words over the call graph and analyze each
+        function once per distinct context (default).  ``False`` restores
+        the paper's intraprocedural behaviour.
+    entry_context:
+        Parallelism word seeding the entry functions (``main`` / functions
+        nobody calls) in interprocedural mode — the CLI's
+        ``--initial-context``.
     """
     initial_words = initial_words or {}
     index = index_program(program)
     collective_funcs = collective_call_graph(program, index)
     func_names = {f.name for f in program.funcs}
+    plan: Optional[InterproceduralPlan] = None
+    if interprocedural:
+        plan = build_plan(program, index, initial_words, entry_context)
+
     artifacts: Dict[str, FunctionArtifacts] = {}
+    context_info: Dict[str, Tuple[Tuple[Word, ...], Tuple[WordInfo, ...]]] = {}
     for func in program.funcs:
         prebuilt = cfgs.get(func.name) if cfgs is not None else None
-        artifacts[func.name] = _analyze_function(
-            func, func_names, collective_funcs,
-            initial_words.get(func.name, EMPTY), precision,
-            index.call_stmts.get(func.name), prebuilt,
-        )
+        call_stmts = index.call_stmts.get(func.name)
+        if plan is not None:
+            words = plan.contexts.contexts[func.name]
+            extra = plan.extra_points.get(func.name)
+            chains = {w: plan.contexts.chains.get((func.name, w), ())
+                      for w in words}
+        else:
+            words = (initial_words.get(func.name, EMPTY),)
+            extra = None
+            chains = {}
+        parts = [
+            (word, _analyze_function(func, func_names, collective_funcs,
+                                     word, precision, call_stmts, prebuilt,
+                                     extra))
+            for word in words
+        ]
+        merged, ctx_words, infos = _merge_artifacts(parts, chains)
+        artifacts[func.name] = merged
+        context_info[func.name] = (ctx_words, infos)
+
     return _assemble(program, index, collective_funcs, artifacts,
-                     precision, instrument_all, _find_requested_level(index))
+                     precision, instrument_all, _find_requested_level(index),
+                     plan=plan, context_info=context_info)

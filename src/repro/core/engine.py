@@ -37,7 +37,7 @@ import hashlib
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..minilang import ast_nodes as A
@@ -46,10 +46,13 @@ from ..parallelism.word import P, S
 from .concurrency import ConcurrencyResult
 from .driver import (
     FunctionArtifacts,
+    InterproceduralPlan,
     ProgramAnalysis,
     _analyze_function,
     _assemble,
     _find_requested_level,
+    _merge_artifacts,
+    build_plan,
 )
 from .monothread import MonothreadResult
 from .sites import (
@@ -70,8 +73,11 @@ def ast_fingerprint(func: A.FuncDef) -> str:
     return hashlib.sha256(repr(func).encode("utf-8")).hexdigest()
 
 
-#: Cache key: fingerprint + everything else `_analyze_function` reads.
-_Key = Tuple[str, Word, str, Tuple[str, ...], Tuple[str, ...]]
+#: Cache key: fingerprint + everything else `_analyze_function` reads —
+#: the context word, the precision, the resolved call sets, and the
+#: structural token of the interprocedural expression-call points.
+_Key = Tuple[str, Word, str, Tuple[str, ...], Tuple[str, ...],
+             Tuple[Tuple[int, str], ...]]
 
 
 @dataclass
@@ -127,6 +133,8 @@ class _ProgramMemo:
     collective_funcs: set
     func_names: set
     requested: object
+    #: (entry_context, sorted initial_words items) -> interprocedural plan.
+    plans: Dict[tuple, InterproceduralPlan] = field(default_factory=dict)
 
 
 def _version(func: A.FuncDef) -> int:
@@ -226,9 +234,10 @@ def _remap_artifacts(entry: _CacheEntry,
 
 def _analyze_function_task(payload) -> FunctionArtifacts:
     """Process-pool entry point (top-level so it pickles)."""
-    func, func_names, collective_funcs, word, precision, call_stmts = payload
+    (func, func_names, collective_funcs, word, precision, call_stmts,
+     extra_points) = payload
     return _analyze_function(func, func_names, collective_funcs, word,
-                             precision, call_stmts)
+                             precision, call_stmts, None, extra_points)
 
 
 class AnalysisEngine:
@@ -256,6 +265,31 @@ class AnalysisEngine:
         self._identity: Dict[int, Tuple[A.FuncDef, int, str]] = {}
         #: id(program) -> memoized program-level facts.
         self._programs: Dict[int, _ProgramMemo] = {}
+        #: Persistent worker pool, created lazily on the first jobs>1 fan-out
+        #: and reused across analyze() calls (spawn cost amortized).
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- worker pool -----------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (no-op when none was ever
+        created).  The engine stays usable — a later ``jobs>1`` analyze
+        lazily spawns a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
 
     # -- cache management ------------------------------------------------------
 
@@ -303,6 +337,18 @@ class AnalysisEngine:
         _evict_oldest(self._programs, _PROGRAM_MEMO_LIMIT)
         return memo
 
+    def _plan_for(self, memo: _ProgramMemo, program: A.Program,
+                  initial_words: Dict[str, Word],
+                  entry_context: Word) -> InterproceduralPlan:
+        """Interprocedural plan, memoized on the program facts memo (so the
+        warm identity fast path skips call-graph + propagation work)."""
+        key = (entry_context, tuple(sorted(initial_words.items())))
+        plan = memo.plans.get(key)
+        if plan is None:
+            plan = build_plan(program, memo.index, initial_words, entry_context)
+            memo.plans[key] = plan
+        return plan
+
     def analyze(
         self,
         program: A.Program,
@@ -310,6 +356,8 @@ class AnalysisEngine:
         precision: str = "paper",
         instrument_all: bool = False,
         cfgs: Optional[Dict[str, tuple]] = None,
+        interprocedural: bool = True,
+        entry_context: Word = EMPTY,
     ) -> ProgramAnalysis:
         """Drop-in replacement for :func:`analyze_program` with memoization
         and optional parallel fan-out.  Same signature, same output."""
@@ -318,91 +366,122 @@ class AnalysisEngine:
         memo = self._program_facts(program)
         index, collective_funcs = memo.index, memo.collective_funcs
         func_names = memo.func_names
+        plan = (self._plan_for(memo, program, initial_words, entry_context)
+                if interprocedural else None)
 
-        artifacts: Dict[str, FunctionArtifacts] = {}
-        #: (func, key, word, call_stmts, prebuilt) for every cache miss.
-        pending: List[Tuple[A.FuncDef, Optional[_Key], Word,
-                            Optional[List[A.ExprStmt]],
-                            Optional[tuple]]] = []
+        #: (function name, context word) -> artifacts.
+        artifacts: Dict[Tuple[str, Word], FunctionArtifacts] = {}
+        #: (func, key, word, call_stmts, prebuilt, extra) per cache miss.
+        pending: List[tuple] = []
+        func_words: Dict[str, Tuple[Word, ...]] = {}
         for func in program.funcs:
             self.stats.functions += 1
-            word = initial_words.get(func.name, EMPTY)
             call_stmts = index.call_stmts.get(func.name)
             prebuilt = cfgs.get(func.name) if cfgs is not None else None
-            if not self.cache_enabled:
-                pending.append((func, None, word, call_stmts, prebuilt))
-                continue
-            if prebuilt is not None:
-                # A caller-supplied CFG is not part of the fingerprint, so
-                # artifacts built on it must neither be cached nor satisfied
-                # from cache — analyze this function as-is.
-                pending.append((func, None, word, call_stmts, prebuilt))
-                continue
-            called_names = {c.name for c in index.calls.get(func.name, ())}
-            key: _Key = (
-                self._fingerprint_for(func), word, precision,
-                tuple(sorted(called_names & func_names)),
-                tuple(sorted(called_names & collective_funcs)),
-            )
-            entry = self._cache.get(key)
-            if entry is not None and _version(entry.artifacts.func) == entry.version:
-                if entry.artifacts.func is func:
-                    self.stats.hits += 1
-                    artifacts[func.name] = entry.artifacts
+            if plan is not None:
+                words = plan.contexts.contexts[func.name]
+                extra = plan.extra_points.get(func.name)
+                token = plan.extra_tokens.get(func.name, ())
+            else:
+                words = (initial_words.get(func.name, EMPTY),)
+                extra = None
+                token = ()
+            func_words[func.name] = words
+            for word in words:
+                if not self.cache_enabled or prebuilt is not None:
+                    # A caller-supplied CFG is not part of the fingerprint,
+                    # so artifacts built on it must neither be cached nor
+                    # satisfied from cache — analyze this function as-is.
+                    pending.append((func, None, word, call_stmts, prebuilt,
+                                    extra))
                     continue
-                remapped = _remap_artifacts(entry, func)
-                if remapped is not None:
-                    self.stats.hits += 1
-                    self.stats.remaps += 1
-                    artifacts[func.name] = remapped
-                    continue
-            if entry is not None:
-                # Stale: the cached AST was mutated after analysis.
-                del self._cache[key]
-            self.stats.misses += 1
-            pending.append((func, key, word, call_stmts, prebuilt))
+                called_names = {c.name for c in index.calls.get(func.name, ())}
+                key: _Key = (
+                    self._fingerprint_for(func), word, precision,
+                    tuple(sorted(called_names & func_names)),
+                    tuple(sorted(called_names & collective_funcs)),
+                    token,
+                )
+                entry = self._cache.get(key)
+                if entry is not None and _version(entry.artifacts.func) == entry.version:
+                    if entry.artifacts.func is func:
+                        self.stats.hits += 1
+                        artifacts[(func.name, word)] = entry.artifacts
+                        continue
+                    remapped = _remap_artifacts(entry, func)
+                    if remapped is not None:
+                        self.stats.hits += 1
+                        self.stats.remaps += 1
+                        artifacts[(func.name, word)] = remapped
+                        continue
+                if entry is not None:
+                    # Stale: the cached AST was mutated after analysis.
+                    del self._cache[key]
+                self.stats.misses += 1
+                pending.append((func, key, word, call_stmts, prebuilt, extra))
 
         self._run_pending(pending, func_names, collective_funcs,
                           precision, artifacts)
-        return _assemble(program, index, collective_funcs, artifacts,
-                         precision, instrument_all, memo.requested)
+
+        merged: Dict[str, FunctionArtifacts] = {}
+        context_info: Dict[str, Tuple[Tuple[Word, ...], Tuple[WordInfo, ...]]] = {}
+        for func in program.funcs:
+            words = func_words[func.name]
+            if plan is not None:
+                chains = {w: plan.contexts.chains.get((func.name, w), ())
+                          for w in words}
+            else:
+                chains = {}
+            parts = [(w, artifacts[(func.name, w)]) for w in words]
+            merged[func.name], ctx_words, infos = _merge_artifacts(parts, chains)
+            context_info[func.name] = (ctx_words, infos)
+        return _assemble(program, index, collective_funcs, merged,
+                         precision, instrument_all, memo.requested,
+                         plan=plan, context_info=context_info)
 
     def _run_pending(self, pending, func_names, collective_funcs,
                      precision, artifacts) -> None:
-        """Analyze the cache misses — in a process pool when profitable."""
+        """Analyze the cache misses — in the persistent process pool when
+        profitable."""
         pooled = [p for p in pending if p[4] is None]
         use_pool = self.jobs > 1 and len(pooled) > 1
-        results: Dict[int, FunctionArtifacts] = {}
+        results: Dict[Tuple[int, Word], FunctionArtifacts] = {}
         if use_pool:
             payloads = [
-                (func, func_names, collective_funcs, word, precision, call_stmts)
-                for func, _key, word, call_stmts, _pre in pooled
+                (func, func_names, collective_funcs, word, precision,
+                 call_stmts, extra)
+                for func, _key, word, call_stmts, _pre, extra in pooled
             ]
             try:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    for (func, *_rest), art in zip(
-                            pooled, pool.map(_analyze_function_task, payloads)):
-                        results[id(func)] = art
+                pool = self._ensure_pool()
+                for (func, _key, word, *_rest), art in zip(
+                        pooled, pool.map(_analyze_function_task, payloads)):
+                    results[(id(func), word)] = art
             except (BrokenProcessPool, OSError, pickle.PicklingError):
                 # Pool infrastructure failure (no fork/spawn, unpicklable
-                # payload, worker killed): fall back to the serial path
-                # below.  Genuine analysis errors raised by a worker are
-                # NOT caught — they propagate exactly as in a serial run.
+                # payload, worker killed): drop the broken pool and fall
+                # back to the serial path below.  Genuine analysis errors
+                # raised by a worker are NOT caught — they propagate exactly
+                # as in a serial run.
                 results.clear()
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = None
             else:
                 self.stats.parallel_tasks += len(results)
 
-        for func, key, word, call_stmts, prebuilt in pending:
-            art = results.get(id(func))
+        for func, key, word, call_stmts, prebuilt, extra in pending:
+            art = results.get((id(func), word))
             if art is None:
                 art = _analyze_function(func, func_names, collective_funcs,
-                                        word, precision, call_stmts, prebuilt)
+                                        word, precision, call_stmts, prebuilt,
+                                        extra)
             else:
                 # Workers return a pickled copy of the AST; re-anchor the
                 # artifacts on the caller's objects (uids are preserved by
                 # pickling, so every uid-keyed map stays valid).
                 art.func = func
-            artifacts[func.name] = art
+            artifacts[(func.name, word)] = art
             if self.cache_enabled and key is not None:
                 self._cache[key] = _CacheEntry(
                     artifacts=art, version=_version(art.func), key=key)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from ..parallelism import format_word
+from ..parallelism import EMPTY, format_word
 from .diagnostics import ErrorCode
 from .driver import ProgramAnalysis
 
@@ -23,7 +23,11 @@ def analysis_summary(analysis: ProgramAnalysis) -> Dict[str, Any]:
             "concurrent_pairs": len(fa.concurrency.concurrent_pairs),
             "mismatch_conditionals": len(fa.sequence.conditionals),
             "required_level": fa.monothread.max_required_level.mpi_name,
+            "contexts": [format_word(w) for w in fa.context_words],
         }
+        if analysis.summaries is not None:
+            per_function[name]["collective_summary"] = dict(
+                analysis.summaries[name].collectives)
     warnings_by_code = {
         code.value: analysis.diagnostics.count(code) for code in ErrorCode
     }
@@ -39,6 +43,7 @@ def analysis_summary(analysis: ProgramAnalysis) -> Dict[str, Any]:
         ),
         "verified": analysis.verified,
         "precision": analysis.precision,
+        "interprocedural": analysis.interprocedural,
     }
 
 
@@ -66,9 +71,17 @@ def render_report(analysis: ProgramAnalysis, verbose: bool = False) -> str:
         for name, fa in sorted(analysis.functions.items()):
             lines.append(f"  function {name}: {len(fa.cfg)} blocks, "
                          f"{fa.n_collectives} collectives")
+            if fa.context_words != (EMPTY,):
+                formatted = " | ".join(format_word(w) for w in fa.context_words)
+                lines.append(f"    contexts: {formatted}")
+            infos = fa.word_infos or (fa.word_info,)
             for site in fa.sites:
-                word = fa.word_info.words[site.uid]
+                words = []
+                for info in infos:
+                    text = format_word(info.words[site.uid])
+                    if text not in words:
+                        words.append(text)
                 lines.append(
-                    f"    {site.name} (line {site.line}): pw = {format_word(word)}"
+                    f"    {site.name} (line {site.line}): pw = {' | '.join(words)}"
                 )
     return "\n".join(lines) + "\n"

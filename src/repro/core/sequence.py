@@ -102,7 +102,9 @@ def _possible_counts(cfg: CFG, target_blocks: Set[int],
 
 def analyze_sequence(func_name: str, cfg: CFG,
                      collective_funcs: Optional[Set[str]] = None,
-                     precision: str = "paper") -> SequenceResult:
+                     precision: str = "paper",
+                     extra_points: Optional[Dict[str, List[int]]] = None
+                     ) -> SequenceResult:
     """Run Algorithm 1 on one function's CFG.
 
     Parameters
@@ -110,12 +112,21 @@ def analyze_sequence(func_name: str, cfg: CFG,
     precision:
         ``"paper"`` (PDF+ exactly as published) or ``"counting"`` (suppress
         provably-balanced conditionals; see module docstring).
+    extra_points:
+        Additional collective points (name -> block ids) the CFG itself
+        cannot see — the interprocedural layer supplies one per
+        expression-level call to a collective-executing helper (those calls
+        have no ``CALL`` block).
     """
     if precision not in ("paper", "counting"):
         raise ValueError(f"unknown precision {precision!r}")
     collective_funcs = collective_funcs or set()
     result = SequenceResult()
     points = _collective_points(cfg, collective_funcs)
+    if extra_points:
+        for name, blocks in extra_points.items():
+            merged = points.setdefault(name, [])
+            merged.extend(b for b in blocks if b not in merged)
     if not points:
         return result
 

@@ -9,10 +9,32 @@ covering collectives reached through calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..minilang import ast_nodes as A
 from ..mpi.collectives import is_collective
+
+
+@dataclass(frozen=True)
+class ExprCallSite:
+    """A call that is *not* a standalone call statement (it sits inside an
+    initializer, an assignment, a condition, an argument list, ...).
+
+    Such calls have no ``CALL`` basic block and no :class:`CollectiveSite`,
+    so the intraprocedural phases cannot see them; the interprocedural layer
+    (:mod:`repro.core.callgraph`) anchors them on the nearest enclosing
+    statement instead.
+    """
+
+    call: A.Call
+    #: uids of the enclosing statements, innermost first (the anchor chain —
+    #: the first uid with a CFG block is the call's sequence point).
+    stmt_uids: Tuple[int, ...]
+    #: Pre-order position of the innermost enclosing statement inside the
+    #: function AST (structural — stable across re-parses, unlike uids; the
+    #: engine keys its cache on this).
+    stmt_pos: int
+    line: int
 
 
 @dataclass
@@ -25,6 +47,8 @@ class ProgramIndex:
     calls: Dict[str, List[A.Call]] = field(default_factory=dict)
     #: function name -> statement-level calls (ExprStmt wrapping a Call).
     call_stmts: Dict[str, List[A.ExprStmt]] = field(default_factory=dict)
+    #: function name -> calls embedded in expressions (no CALL block).
+    expr_calls: Dict[str, List[ExprCallSite]] = field(default_factory=dict)
 
 
 def index_program(program: A.Program) -> ProgramIndex:
@@ -32,13 +56,35 @@ def index_program(program: A.Program) -> ProgramIndex:
     for func in program.funcs:
         calls: List[A.Call] = []
         stmts: List[A.ExprStmt] = []
-        for node in func.walk():
+        expr_calls: List[ExprCallSite] = []
+        # Pre-order walk mirroring Node.walk(), tracking the enclosing
+        # statement chain (innermost first) and the statement positions.
+        stack: List[Tuple[A.Node, Tuple[A.Stmt, ...]]] = [(func, ())]
+        pos = 0
+        stmt_pos: Dict[int, int] = {}
+        while stack:
+            node, enclosing = stack.pop()
+            if isinstance(node, A.Stmt):
+                stmt_pos[node.uid] = pos
+                enclosing = (node,) + enclosing
+            pos += 1
             if isinstance(node, A.Call):
                 calls.append(node)
-            elif isinstance(node, A.ExprStmt) and isinstance(node.expr, A.Call):
-                stmts.append(node)
+                stmt = enclosing[0] if enclosing else None
+                if isinstance(stmt, A.ExprStmt) and stmt.expr is node:
+                    stmts.append(stmt)
+                elif stmt is not None:
+                    expr_calls.append(ExprCallSite(
+                        call=node,
+                        stmt_uids=tuple(s.uid for s in enclosing),
+                        stmt_pos=stmt_pos[stmt.uid],
+                        line=node.line or stmt.line,
+                    ))
+            stack.extend((child, enclosing)
+                         for child in reversed(node.children()))
         index.calls[func.name] = calls
         index.call_stmts[func.name] = stmts
+        index.expr_calls[func.name] = expr_calls
     return index
 
 

@@ -110,9 +110,9 @@ def test_parallel_engine_matches_serial():
     src = scale_suite()["S"]
     p = parse_program(src, "s.mc")
     serial = analyze_program(p)
-    engine = AnalysisEngine(jobs=2, cache=False)
-    parallel = engine.analyze(p)
-    assert engine.stats.parallel_tasks == len(p.funcs)
+    with AnalysisEngine(jobs=2, cache=False) as engine:
+        parallel = engine.analyze(p)
+        assert engine.stats.parallel_tasks == len(p.funcs)
     assert _diag_tuples(parallel) == _diag_tuples(serial)
     assert render_report(parallel, verbose=True) == render_report(serial, verbose=True)
     assert pretty(instrument_program(parallel)[0]) == \
