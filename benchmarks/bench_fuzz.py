@@ -1,0 +1,58 @@
+"""Fuzzing throughput benchmark — differential-oracle programs per second.
+
+Each round pushes a fixed batch of seeded programs through the pipeline;
+``extra_info["programs"]`` lets ``export_bench.py`` derive
+``fuzz_programs_per_sec`` into ``BENCH_scale.json``, tracking the cost of
+one fuzz seed PR over PR next to the analysis and exploration numbers.
+
+Configs:
+
+* ``fuzz_generate`` — generation + well-formedness gate only (the grammar
+  floor: how fast seeds can be minted);
+* ``fuzz_oracle``   — the full differential oracle (two static analyses,
+  instrumentation, two scheduled runs, bounded DFS sweep) — the number the
+  campaign's seeds/sec ultimately follows.
+"""
+
+import pytest
+
+from repro.fuzz import GenConfig, OracleConfig, generate_program, run_oracle
+
+PROGRAMS = 8
+SEEDS = tuple(range(PROGRAMS))
+GEN = GenConfig()
+#: A slimmer sweep than the CLI default keeps benchmark rounds short while
+#: still exercising every oracle phase.
+ORACLE = OracleConfig(explore_runs=6)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return [generate_program(seed, GEN) for seed in SEEDS]
+
+
+def test_fuzz_generate_rate(benchmark):
+    benchmark.extra_info["size"] = f"{PROGRAMS}seeds"
+    benchmark.extra_info["config"] = "fuzz_generate"
+    benchmark.extra_info["programs"] = PROGRAMS
+
+    def go():
+        return [generate_program(seed, GEN) for seed in SEEDS]
+
+    out = benchmark(go)
+    assert len(out) == PROGRAMS
+
+
+def test_fuzz_oracle_rate(benchmark, sources):
+    benchmark.extra_info["size"] = f"{PROGRAMS}seeds"
+    benchmark.extra_info["config"] = "fuzz_oracle"
+    benchmark.extra_info["programs"] = PROGRAMS
+
+    def go():
+        return [run_oracle(src, ORACLE) for src in sources]
+
+    verdicts = benchmark(go)
+    assert len(verdicts) == PROGRAMS
+    # The acceptance invariant holds inside the benchmark too.
+    assert all(v.classification in ("agree", "static-overapprox")
+               for v in verdicts)

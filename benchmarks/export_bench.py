@@ -1,10 +1,10 @@
 #!/usr/bin/env python
-"""Export the scale + exploration benchmark results to ``BENCH_scale.json``.
+"""Export the scale/exploration/fuzzing benchmark results to ``BENCH_scale.json``.
 
-Runs ``benchmarks/bench_scale.py`` and ``benchmarks/bench_explore.py`` under
-pytest-benchmark, then compacts the raw report into a small, diff-friendly
-JSON checked into the repository so the performance trajectory is tracked PR
-over PR::
+Runs ``benchmarks/bench_scale.py``, ``benchmarks/bench_explore.py`` and
+``benchmarks/bench_fuzz.py`` under pytest-benchmark, then compacts the raw
+report into a small, diff-friendly JSON checked into the repository so the
+performance trajectory is tracked PR over PR::
 
     PYTHONPATH=src python benchmarks/export_bench.py [-o BENCH_scale.json]
 
@@ -22,6 +22,7 @@ The compact schema::
         "warm_speedup": {"XL": 39.5, ...},     # cold mean / warm mean
         "dominates_depth_ratio": 1.1,          # deepest / shallowest query
         "schedules_per_sec": {"explore_dfs": 410.2, ...},  # exploration rate
+        "fuzz_programs_per_sec": {"fuzz_oracle": 40.1, ...},  # oracle rate
         "interproc_overhead": {"D32": 1.6, ...}  # interproc / intraproc mean
       }
     }
@@ -50,6 +51,7 @@ def run_benchmarks(raw_json: str) -> None:
         sys.executable, "-m", "pytest",
         os.path.join(HERE, "bench_scale.py"),
         os.path.join(HERE, "bench_explore.py"),
+        os.path.join(HERE, "bench_fuzz.py"),
         "-q", "--benchmark-only", f"--benchmark-json={raw_json}",
     ]
     subprocess.run(cmd, check=True, cwd=REPO, env=env)
@@ -59,6 +61,7 @@ def compact(raw: dict) -> dict:
     benchmarks = []
     by_config: dict = {}
     schedule_rates: dict = {}
+    fuzz_rates: dict = {}
     for bench in raw.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         stats = bench.get("stats", {})
@@ -76,6 +79,10 @@ def compact(raw: dict) -> dict:
         if schedules and entry["mean_s"] > 0:
             schedule_rates[entry["config"]] = round(
                 schedules / entry["mean_s"], 1)
+        programs = extra.get("programs")
+        if programs and entry["mean_s"] > 0:
+            fuzz_rates[entry["config"]] = round(
+                programs / entry["mean_s"], 1)
 
     derived: dict = {}
     cold = by_config.get("cold", {})
@@ -102,6 +109,8 @@ def compact(raw: dict) -> dict:
         derived["interproc_overhead"] = overhead
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
+    if fuzz_rates:
+        derived["fuzz_programs_per_sec"] = fuzz_rates
     return {
         "suite": "bench_scale",
         "python": platform.python_version(),

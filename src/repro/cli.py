@@ -40,15 +40,36 @@ Subcommands::
         ``--replay TRACE`` re-executes a saved trace deterministically.
         ``-np``/``-nt``/``--thread-level`` accept comma-separated lists and
         are cross-producted.  Exit 1 when any schedule fails.
+    parcoach fuzz [--seeds N] [--seed S] [--budget SECS] [--jobs N]
+                  [--shrink] [--corpus DIR] [--explore-runs N] [-v]
+        differential fuzzing: generate N seeded random minilang programs
+        and cross-check every verdict source (intra- + interprocedural
+        static analysis vs. deterministic raw / instrumented / explored
+        dynamic runs).  Each program is classified *agree*, *static-miss*
+        (dynamic error without a static warning — a soundness bug),
+        *static-overapprox* (warning, all explored schedules clean —
+        allowed, tracked) or *crash* (internal error).  ``--shrink``
+        ddmin-reduces each disagreement; with ``--corpus DIR`` the reduced
+        ``.mini``/``.json`` pair is persisted for regression replay.
+        Every finding reproduces alone via ``fuzz --seeds 1 --seed S``.
     parcoach cfg FILE FUNC [-o OUT.dot]
         dump one function's CFG as Graphviz DOT
+
+Exit-code contract (uniform across subcommands)::
+
+    0   clean / verified / successful emission
+    1   findings: static warnings, a failing run, failing schedules,
+        fuzzer disagreements (static-miss)
+    2   internal or usage errors: unparseable or semantically invalid
+        input, unknown function, replay divergence, fuzzer crash class
 
 Performance knobs: ``--jobs N`` fans independent per-function phases out to
 ``N`` worker processes (identical output, useful on many-function programs);
 ``batch`` keeps a per-function analysis cache across files and repeats, so
 structurally identical functions are analyzed once (see
 ``benchmarks/bench_scale.py`` for the measured effect;
-``benchmarks/bench_explore.py`` tracks schedules/sec for ``explore``).
+``benchmarks/bench_explore.py`` tracks schedules/sec for ``explore``,
+``benchmarks/bench_fuzz.py`` programs/sec for ``fuzz``).
 """
 
 from __future__ import annotations
@@ -68,6 +89,7 @@ from .minilang.semantics import check_program
 from .mpi.thread_levels import ThreadLevel
 from .parallelism import EMPTY, format_word, parse_word
 from .runtime import run_program
+from .runtime.errors import ValidationError
 
 
 def _load(path: str):
@@ -202,7 +224,9 @@ def _cmd_run(args) -> int:
         print(f"verdict: {result.verdict} (detected by {result.detected_by})",
               file=sys.stderr)
         print(f"  {result.error}", file=sys.stderr)
-        return 1
+        # A bare ValidationError is the interpreter's internal-error wrapper,
+        # not a program verdict: exit 2 per the contract.
+        return 2 if type(result.error) is ValidationError else 1
     checks = f" ({result.cc_calls} CC checks passed)" if result.cc_calls else ""
     print(f"verdict: clean{checks}", file=sys.stderr)
     return 0
@@ -285,6 +309,36 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import GenConfig, OracleConfig, run_fuzz
+
+    oracle_config = OracleConfig(nprocs=args.np, num_threads=args.nt,
+                                 explore_runs=args.explore_runs)
+    progress = None
+    if args.verbose:
+        def progress(outcome):
+            print(f"seed {outcome.seed}: {outcome.verdict.describe()}",
+                  file=sys.stderr)
+    report = run_fuzz(
+        seeds=args.seeds, base_seed=args.seed, gen_config=GenConfig(),
+        oracle_config=oracle_config, budget=args.budget, jobs=args.jobs,
+        shrink=args.shrink, corpus_dir=args.corpus, progress=progress)
+    print(report.summary())
+    for outcome in report.disagreements:
+        print(f"{outcome.classification}: seed {outcome.seed} "
+              f"({outcome.verdict.crash_detail or outcome.verdict.describe()})"
+              f"\n  reproduce: {outcome.repro}", file=sys.stderr)
+    for name, path in report.reduced:
+        print(f"reduced counterexample {name} written to {path}",
+              file=sys.stderr)
+    if report.overapprox_seeds and args.verbose:
+        shown = ", ".join(str(s) for s in report.overapprox_seeds[:20])
+        print(f"static-overapprox seeds: {shown}"
+              + (" …" if len(report.overapprox_seeds) > 20 else ""),
+              file=sys.stderr)
+    return report.exit_code()
+
+
 def _cmd_cfg(args) -> int:
     program = _load(args.file)
     analysis = analyze_program(program)
@@ -310,6 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="parcoach",
         description="Static/dynamic validation of MPI collectives in "
                     "multi-threaded context (PPoPP'15 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (all subcommands):\n"
+            "  0  clean / verified / successful emission\n"
+            "  1  findings — static warnings, a failing run, failing\n"
+            "     schedules, fuzzer disagreements (static-miss)\n"
+            "  2  internal or usage errors — invalid input program,\n"
+            "     unknown function, replay divergence, fuzzer crash class"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -408,6 +471,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip delta-debugging the first failing schedule")
     p.set_defaults(fn=_cmd_explore)
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing (generated programs × static-vs-dynamic "
+             "oracle)")
+    p.add_argument("--seeds", type=int, default=100, metavar="N",
+                   help="number of seeds to run (default 100)")
+    p.add_argument("--seed", type=int, default=0, metavar="S",
+                   help="first seed value; seed k reproduces alone via "
+                        "--seeds 1 --seed k (default 0)")
+    p.add_argument("--budget", type=float, default=None, metavar="SECS",
+                   help="wall-clock cap; stop starting new seeds past it")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (seed outcomes merge in seed "
+                        "order — output is identical for any N)")
+    p.add_argument("--shrink", action="store_true",
+                   help="ddmin-reduce each disagreeing program")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="write reduced counterexamples (.mini + .json) "
+                        "here (implies --shrink)")
+    p.add_argument("--explore-runs", type=int, default=12, metavar="N",
+                   help="bounded-DFS schedules per program (default 12; "
+                        "0 disables exploration)")
+    p.add_argument("-np", type=int, default=2, help="MPI ranks (default 2)")
+    p.add_argument("-nt", type=int, default=2,
+                   help="OpenMP threads per team (default 2)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="per-seed verdict lines + overapprox seed list")
+    p.set_defaults(fn=_cmd_fuzz)
+
     p = sub.add_parser("cfg", help="dump a function's CFG as DOT")
     p.add_argument("file")
     p.add_argument("function")
@@ -418,8 +510,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.fn(args)
+    """Entry point.  Normalizes every exit path onto the documented
+    0/1/2 contract — including argparse usage errors and the semantic-error
+    abort in ``_load``, which raise ``SystemExit`` internally."""
+    try:
+        args = build_parser().parse_args(argv)
+        return args.fn(args)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
 
 
 if __name__ == "__main__":

@@ -262,7 +262,11 @@ def _analyze_function(
         for anchor_uids, name in extra_points:
             block = next((ast_block[u] for u in anchor_uids if u in ast_block),
                          None)
-            if block is not None:
+            # Statements in dead code (after an unconditional return/break)
+            # keep their ast_block entry, but the block itself is pruned
+            # from the CFG — an unreachable call can never diverge, so it
+            # contributes no PDF+ point (found by ``parcoach fuzz``).
+            if block is not None and block in cfg.blocks:
                 seq_extra.setdefault(name, []).append(block)
     seq = analyze_sequence(func.name, cfg, collective_funcs, precision,
                            extra_points=seq_extra)

@@ -7,46 +7,14 @@ script is exhausted (or a choice is infeasible in the mutated schedule) the
 deterministic run-to-completion fallback takes over, so every candidate
 still yields a well-defined run — the verdict comparison decides whether
 the reduction kept the bug.
+
+The reduction core itself lives in :mod:`repro.util.ddmin` (it is shared
+with the fuzzer's program reducer); this module keeps the historical import
+path ``repro.explore.minimize.ddmin`` working.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from ..util.ddmin import ddmin
 
-
-def ddmin(
-    failing: Callable[[List[str]], bool],
-    choices: Sequence[str],
-    budget: int = 200,
-) -> List[str]:
-    """Classic ddmin over ``choices``; ``failing(candidate)`` replays the
-    candidate sequence and reports whether the target verdict reproduced.
-    At most ``budget`` replays are spent."""
-    spent = 0
-
-    def test(candidate: List[str]) -> bool:
-        nonlocal spent
-        if spent >= budget:
-            return False
-        spent += 1
-        return failing(candidate)
-
-    current = list(choices)
-    if test([]):  # the deterministic default schedule already fails
-        return []
-    granularity = 2
-    while len(current) >= 2 and spent < budget:
-        chunk = max(1, len(current) // granularity)
-        reduced = False
-        for start in range(0, len(current), chunk):
-            candidate = current[:start] + current[start + chunk:]
-            if candidate and test(candidate):
-                current = candidate
-                granularity = max(granularity - 1, 2)
-                reduced = True
-                break
-        if not reduced:
-            if granularity >= len(current):
-                break
-            granularity = min(len(current), granularity * 2)
-    return current
+__all__ = ["ddmin"]

@@ -1,0 +1,70 @@
+"""repro.fuzz — differential fuzzing of the static/dynamic pipeline.
+
+A standing adversarial workload: a seeded weighted-grammar generator
+produces thousands of well-formed hybrid MPI+OpenMP minilang programs, a
+differential oracle cross-checks every verdict source the system has
+(intra- and interprocedural static analysis, deterministic raw /
+instrumented scheduled runs, bounded DFS schedule exploration), and any
+disagreement is ddmin-reduced into the checked-in ``tests/corpus/``
+regression directory.  Surfaced as ``parcoach fuzz``.
+"""
+
+from .campaign import (
+    MUTANT_STRIDE,
+    FuzzReport,
+    SeedOutcome,
+    fuzz_one,
+    program_for_seed,
+    run_fuzz,
+)
+from .generator import (
+    GenConfig,
+    GeneratorError,
+    build_program,
+    generate_program,
+    mutate,
+)
+from .oracle import (
+    AGREE,
+    CLASSIFICATIONS,
+    CRASH,
+    STATIC_MISS,
+    STATIC_OVERAPPROX,
+    OracleConfig,
+    OracleVerdict,
+    run_oracle,
+)
+from .reduce import (
+    classification_predicate,
+    load_corpus,
+    reduce_counterexample,
+    reduce_source,
+    write_counterexample,
+)
+
+__all__ = [
+    "MUTANT_STRIDE",
+    "FuzzReport",
+    "SeedOutcome",
+    "fuzz_one",
+    "program_for_seed",
+    "run_fuzz",
+    "GenConfig",
+    "GeneratorError",
+    "build_program",
+    "generate_program",
+    "mutate",
+    "AGREE",
+    "CLASSIFICATIONS",
+    "CRASH",
+    "STATIC_MISS",
+    "STATIC_OVERAPPROX",
+    "OracleConfig",
+    "OracleVerdict",
+    "run_oracle",
+    "classification_predicate",
+    "load_corpus",
+    "reduce_counterexample",
+    "reduce_source",
+    "write_counterexample",
+]

@@ -1,0 +1,229 @@
+"""Fuzz campaign driver: seeds → programs → oracle verdicts → report.
+
+One *seed* is one reproducible experiment: seed ``s`` deterministically
+yields a generated program (and, for every fourth seed, a mutant of it —
+the mutator is part of the tested surface), whose differential-oracle
+verdict depends only on ``(s, GenConfig, OracleConfig)``.  A campaign runs
+a seed range, optionally fans seeds out to worker processes (results are
+merged in seed order, so the report is identical for any ``jobs``), stops
+at a wall-clock budget, and can ddmin-shrink every disagreement into a
+corpus directory.
+
+Reproduction contract: any finding of
+``parcoach fuzz --seeds N --seed S`` is reproducible alone via
+``parcoach fuzz --seeds 1 --seed <failing seed>`` — generation is keyed on
+the absolute seed value, never on the position inside the campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .generator import GenConfig, GeneratorError, generate_program, mutate
+from .oracle import (
+    AGREE,
+    CRASH,
+    STATIC_MISS,
+    STATIC_OVERAPPROX,
+    OracleConfig,
+    OracleVerdict,
+    run_oracle,
+)
+from .reduce import reduce_counterexample, write_counterexample
+
+#: Every fourth seed fuzzes the mutator too: the generated program is
+#: perturbed once before being fed to the oracle.
+MUTANT_STRIDE = 4
+
+
+def program_for_seed(seed: int, config: GenConfig = GenConfig()) -> str:
+    """The deterministic program text for one absolute seed value."""
+    source = generate_program(seed, config)
+    if seed % MUTANT_STRIDE == MUTANT_STRIDE - 1:
+        source = mutate(source, seed)
+    return source
+
+
+@dataclass
+class SeedOutcome:
+    """One seed's program + verdict (kept only for non-``agree`` seeds and
+    for statistics)."""
+
+    seed: int
+    classification: str
+    verdict: OracleVerdict
+    source: str
+
+    @property
+    def repro(self) -> str:
+        return f"parcoach fuzz --seeds 1 --seed {self.seed}"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one campaign."""
+
+    requested: int
+    base_seed: int
+    completed: int = 0
+    counts: Counter = field(default_factory=Counter)
+    #: static-miss / crash outcomes (the disagreements).
+    disagreements: List[SeedOutcome] = field(default_factory=list)
+    #: static-overapprox seeds (allowed, tracked for the precision metric).
+    overapprox_seeds: List[int] = field(default_factory=list)
+    elapsed: float = 0.0
+    budget_hit: bool = False
+    #: (corpus name, path) pairs written by --shrink.
+    reduced: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def exit_code(self) -> int:
+        """CLI contract: 2 for internal errors (crash), 1 for findings
+        (static-miss), 0 otherwise."""
+        if self.counts.get(CRASH, 0):
+            return 2
+        if self.counts.get(STATIC_MISS, 0):
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        rate = self.completed / self.elapsed if self.elapsed > 0 else 0.0
+        parts = [f"{self.completed}/{self.requested} seeds"
+                 + (" (budget hit)" if self.budget_hit else "")
+                 + f" from seed {self.base_seed}:"]
+        for cls in (AGREE, STATIC_OVERAPPROX, STATIC_MISS, CRASH):
+            if self.counts.get(cls, 0):
+                parts.append(f"{cls} {self.counts[cls]}")
+        parts.append(f"({rate:.1f} programs/s)")
+        return " ".join(parts)
+
+
+def fuzz_one(seed: int,
+             gen_config: GenConfig = GenConfig(),
+             oracle_config: OracleConfig = OracleConfig()) -> SeedOutcome:
+    """Generate + cross-check one seed (the worker body)."""
+    try:
+        source = program_for_seed(seed, gen_config)
+    except GeneratorError as exc:
+        verdict = OracleVerdict(classification=CRASH,
+                                crash_detail=f"generator: {exc}")
+        return SeedOutcome(seed=seed, classification=CRASH, verdict=verdict,
+                           source="")
+    verdict = run_oracle(source, oracle_config, name=f"<fuzz seed={seed}>")
+    return SeedOutcome(seed=seed, classification=verdict.classification,
+                       verdict=verdict, source=source)
+
+
+def _fuzz_seed_task(payload: Tuple[int, GenConfig, OracleConfig]) -> Tuple[int, str, dict, str]:
+    """Process-pool entry point (top level so it pickles)."""
+    seed, gen_config, oracle_config = payload
+    outcome = fuzz_one(seed, gen_config, oracle_config)
+    return (outcome.seed, outcome.classification, outcome.verdict.as_dict(),
+            outcome.source)
+
+
+def run_fuzz(
+    seeds: int,
+    base_seed: int = 0,
+    gen_config: GenConfig = GenConfig(),
+    oracle_config: OracleConfig = OracleConfig(),
+    budget: Optional[float] = None,
+    jobs: int = 1,
+    shrink: bool = False,
+    corpus_dir: Optional[str] = None,
+    shrink_budget: int = 250,
+    progress=None,
+) -> FuzzReport:
+    """Run the campaign over seeds ``base_seed .. base_seed + seeds - 1``.
+
+    ``budget`` caps wall-clock seconds (checked between seeds; with
+    ``jobs > 1`` the queued work is cancelled and only in-flight chunks
+    finish).  ``jobs > 1`` fans seeds out to worker processes;
+    ``corpus_dir`` implies ``shrink`` — each disagreement is ddmin-reduced
+    and the ``.mini``/``.json`` pair persisted there.  ``progress`` is an
+    optional callable receiving each :class:`SeedOutcome` as it completes
+    (CLI verbose mode); it fires at most once per seed even across the
+    broken-pool fallback."""
+    if corpus_dir is not None:
+        shrink = True
+    report = FuzzReport(requested=seeds, base_seed=base_seed)
+    start = time.monotonic()
+    seed_list = list(range(base_seed, base_seed + seeds))
+    reported: set = set()
+
+    def note(outcome: SeedOutcome) -> None:
+        report.completed += 1
+        report.counts[outcome.classification] += 1
+        if outcome.classification in (STATIC_MISS, CRASH):
+            report.disagreements.append(outcome)
+        elif outcome.classification == STATIC_OVERAPPROX:
+            report.overapprox_seeds.append(outcome.seed)
+        if progress is not None and outcome.seed not in reported:
+            reported.add(outcome.seed)
+            progress(outcome)
+
+    def out_of_budget() -> bool:
+        return budget is not None and time.monotonic() - start >= budget
+
+    if jobs > 1 and len(seed_list) > 1:
+        chunk = max(1, min(8, len(seed_list) // (jobs * 4) or 1))
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
+            payloads = [(s, gen_config, oracle_config) for s in seed_list]
+            for seed, cls, verdict_dict, source in pool.map(
+                    _fuzz_seed_task, payloads, chunksize=chunk):
+                note(SeedOutcome(
+                    seed=seed, classification=cls,
+                    verdict=OracleVerdict.from_dict(verdict_dict),
+                    source=source))
+                if out_of_budget():
+                    report.budget_hit = True
+                    break
+        except (BrokenProcessPool, OSError):
+            # No usable pool on this platform: restart serially (seed
+            # outcomes are deterministic, so a clean restart is cheapest;
+            # `reported` keeps progress from firing twice per seed).
+            report = FuzzReport(requested=seeds, base_seed=base_seed)
+            for seed in seed_list:
+                note(fuzz_one(seed, gen_config, oracle_config))
+                if out_of_budget():
+                    report.budget_hit = True
+                    break
+        finally:
+            # cancel_futures drops the queued chunks, so a budget break
+            # returns after the in-flight work only instead of silently
+            # running the whole campaign to completion.
+            pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        for seed in seed_list:
+            note(fuzz_one(seed, gen_config, oracle_config))
+            if out_of_budget():
+                report.budget_hit = True
+                break
+
+    if shrink and report.disagreements:
+        for outcome in report.disagreements:
+            if not outcome.source:
+                continue
+            reduced = reduce_counterexample(
+                outcome.source, outcome.verdict, oracle_config,
+                budget=shrink_budget)
+            outcome.source = reduced
+            if corpus_dir is not None:
+                name = f"seed{outcome.seed}_{outcome.classification}"
+                paths = write_counterexample(
+                    corpus_dir, name, reduced, outcome.verdict,
+                    config=oracle_config, seed=outcome.seed,
+                    note=f"reduced from {outcome.repro}")
+                report.reduced.append((name, paths[0]))
+
+    report.elapsed = time.monotonic() - start
+    return report

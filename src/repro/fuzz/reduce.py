@@ -1,0 +1,242 @@
+"""Counterexample reduction: ddmin over statements/regions of a program.
+
+Shrinks a program while preserving an arbitrary predicate over its source
+(for the fuzzer: "the differential oracle still classifies it the same
+way").  Granularity is the *statement*, which subsumes regions — an
+``omp parallel`` block, a loop or a guard is one removable unit, and
+removing it removes everything nested inside.
+
+The candidate space is the pre-order statement index list of the original
+program; :func:`repro.util.ddmin.ddmin` (shared with schedule-trace
+minimization) deletes chunks, and each survivor set is rendered back to
+source.  Candidates that no longer parse or semantically check simply fail
+the predicate, so ddmin backs away from them automatically — no grammar
+knowledge is needed here.
+
+Reduced counterexamples are persisted as ``<name>.mini`` + ``<name>.json``
+pairs (source + oracle verdict + reproduction metadata) — the checked-in
+``tests/corpus/`` regression directory that ``tests/test_fuzz.py`` replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..minilang import ast_nodes as A
+from ..minilang.parser import parse_program
+from ..minilang.pretty import pretty
+from ..util.ddmin import ddmin
+from .oracle import OracleConfig, OracleVerdict, run_oracle
+
+CORPUS_SUFFIX_SOURCE = ".mini"
+CORPUS_SUFFIX_VERDICT = ".json"
+
+
+# ---------------------------------------------------------------------------
+# Statement enumeration / subsetting
+# ---------------------------------------------------------------------------
+
+
+def _stmt_blocks(stmt: A.Stmt) -> List[A.Block]:
+    """The nested blocks of one statement whose direct statements are
+    independently removable."""
+    if isinstance(stmt, A.If):
+        return [stmt.then_body] + ([stmt.else_body] if stmt.else_body else [])
+    if isinstance(stmt, (A.While, A.OmpParallel, A.OmpSingle, A.OmpMaster,
+                         A.OmpCritical, A.OmpTask)):
+        return [stmt.body]
+    if isinstance(stmt, A.For):
+        return [stmt.body]
+    if isinstance(stmt, A.OmpFor):
+        return [stmt.loop.body]
+    if isinstance(stmt, A.OmpSections):
+        return list(stmt.sections)
+    if isinstance(stmt, A.Block):
+        return [stmt]
+    return []
+
+
+def _enumerate(program: A.Program) -> int:
+    """Count removable statement positions (pre-order over all functions)."""
+    count = 0
+
+    def walk_block(block: A.Block) -> None:
+        nonlocal count
+        for stmt in block.stmts:
+            count += 1
+            for inner in _stmt_blocks(stmt):
+                walk_block(inner)
+
+    for func in program.funcs:
+        walk_block(func.body)
+    return count
+
+
+def _subset_source(program: A.Program, keep: frozenset) -> str:
+    """Source text of the program restricted to statement positions in
+    ``keep`` (children of dropped statements vanish with their parent)."""
+    counter = [0]
+
+    def filter_block(block: A.Block) -> A.Block:
+        kept: List[A.Stmt] = []
+        for stmt in block.stmts:
+            index = counter[0]
+            counter[0] += 1
+            filtered = filter_stmt(stmt)
+            if index in keep:
+                kept.append(filtered)
+        return A.Block(stmts=kept)
+
+    def filter_stmt(stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.If):
+            return A.If(cond=stmt.cond, then_body=filter_block(stmt.then_body),
+                        else_body=(filter_block(stmt.else_body)
+                                   if stmt.else_body else None))
+        if isinstance(stmt, A.While):
+            return A.While(cond=stmt.cond, body=filter_block(stmt.body))
+        if isinstance(stmt, A.For):
+            return A.For(init=stmt.init, cond=stmt.cond, step=stmt.step,
+                         body=filter_block(stmt.body))
+        if isinstance(stmt, A.OmpParallel):
+            return A.OmpParallel(body=filter_block(stmt.body),
+                                 num_threads=stmt.num_threads,
+                                 private=list(stmt.private),
+                                 shared=list(stmt.shared))
+        if isinstance(stmt, A.OmpSingle):
+            return A.OmpSingle(body=filter_block(stmt.body), nowait=stmt.nowait)
+        if isinstance(stmt, A.OmpMaster):
+            return A.OmpMaster(body=filter_block(stmt.body))
+        if isinstance(stmt, A.OmpCritical):
+            return A.OmpCritical(body=filter_block(stmt.body), name=stmt.name)
+        if isinstance(stmt, A.OmpTask):
+            return A.OmpTask(body=filter_block(stmt.body))
+        if isinstance(stmt, A.OmpFor):
+            loop = A.For(init=stmt.loop.init, cond=stmt.loop.cond,
+                         step=stmt.loop.step,
+                         body=filter_block(stmt.loop.body))
+            return A.OmpFor(loop=loop, nowait=stmt.nowait,
+                            schedule=stmt.schedule)
+        if isinstance(stmt, A.OmpSections):
+            return A.OmpSections(sections=[filter_block(s)
+                                           for s in stmt.sections],
+                                 nowait=stmt.nowait)
+        if isinstance(stmt, A.Block):
+            return filter_block(stmt)
+        return stmt
+
+    funcs = [A.FuncDef(ret_type=f.ret_type, name=f.name, params=list(f.params),
+                       body=filter_block(f.body))
+             for f in program.funcs]
+    return pretty(A.Program(funcs=funcs, filename=program.filename))
+
+
+# ---------------------------------------------------------------------------
+# Reduction driver
+# ---------------------------------------------------------------------------
+
+
+def reduce_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    budget: int = 250,
+) -> str:
+    """ddmin-shrink ``source`` at statement/region granularity while
+    ``predicate(candidate_source)`` holds.  ``predicate(source)`` must be
+    True on entry; the returned program still satisfies it.  Candidates
+    that fail to parse/check should make the predicate return False (the
+    oracle-based predicates do — they classify such candidates ``crash``).
+    """
+    program = parse_program(source, "<reduce>")
+    total = _enumerate(program)
+    if total == 0:
+        return source
+
+    def failing(kept: List[int]) -> bool:
+        return predicate(_subset_source(program, frozenset(kept)))
+
+    minimal = ddmin(failing, list(range(total)), budget=budget)
+    reduced = _subset_source(program, frozenset(minimal))
+    return reduced if predicate(reduced) else source
+
+
+def classification_predicate(
+    target: OracleVerdict,
+    config: OracleConfig = OracleConfig(),
+) -> Callable[[str], bool]:
+    """The standard disagreement-preserving predicate: the candidate's
+    oracle classification matches the original finding's."""
+
+    def predicate(candidate: str) -> bool:
+        return run_oracle(candidate, config).classification == target.classification
+
+    return predicate
+
+
+def reduce_counterexample(
+    source: str,
+    verdict: OracleVerdict,
+    config: OracleConfig = OracleConfig(),
+    budget: int = 250,
+) -> str:
+    """Shrink a disagreeing program while its classification is preserved."""
+    return reduce_source(source, classification_predicate(verdict, config),
+                         budget=budget)
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence
+# ---------------------------------------------------------------------------
+
+
+def write_counterexample(
+    corpus_dir: str,
+    name: str,
+    source: str,
+    verdict: OracleVerdict,
+    config: OracleConfig = OracleConfig(),
+    seed: Optional[int] = None,
+    note: str = "",
+    xfail: str = "",
+) -> Tuple[str, str]:
+    """Persist ``source`` + its oracle verdict as a corpus entry; returns the
+    ``(source_path, verdict_path)`` pair."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    src_path = os.path.join(corpus_dir, name + CORPUS_SUFFIX_SOURCE)
+    meta_path = os.path.join(corpus_dir, name + CORPUS_SUFFIX_VERDICT)
+    with open(src_path, "w", encoding="utf-8") as handle:
+        handle.write(source)
+    meta: Dict[str, object] = {
+        "name": name,
+        "seed": seed,
+        "oracle_config": config.as_dict(),
+        "verdict": verdict.as_dict(),
+    }
+    if note:
+        meta["note"] = note
+    if xfail:
+        meta["xfail"] = xfail
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+        handle.write("\n")
+    return src_path, meta_path
+
+
+def load_corpus(corpus_dir: str) -> List[Dict[str, object]]:
+    """Load every corpus entry: the verdict JSON plus its ``source`` text,
+    sorted by name for deterministic replay order."""
+    entries: List[Dict[str, object]] = []
+    if not os.path.isdir(corpus_dir):
+        return entries
+    for fname in sorted(os.listdir(corpus_dir)):
+        if not fname.endswith(CORPUS_SUFFIX_VERDICT):
+            continue
+        with open(os.path.join(corpus_dir, fname), encoding="utf-8") as handle:
+            meta = json.load(handle)
+        src_path = os.path.join(
+            corpus_dir, fname[:-len(CORPUS_SUFFIX_VERDICT)] + CORPUS_SUFFIX_SOURCE)
+        with open(src_path, encoding="utf-8") as handle:
+            meta["source"] = handle.read()
+        entries.append(meta)
+    return entries

@@ -351,13 +351,13 @@ class Interpreter:
             if right == 0:
                 raise InterpError("division by zero")
             if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)  # C-style truncation toward zero
+                return _c_idiv(left, right)
             return left / right
         if op == "%":
             if right == 0:
                 raise InterpError("modulo by zero")
             if isinstance(left, int) and isinstance(right, int):
-                return int(math.fmod(left, right))  # C-style sign semantics
+                return _c_imod(left, right)
             return math.fmod(left, right)
         if op == "==":
             return left == right
@@ -528,9 +528,25 @@ def _apply_compound(op: str, old: Any, value: Any) -> Any:
         if value == 0:
             raise InterpError("division by zero")
         if isinstance(old, int) and isinstance(value, int):
-            return old // value
+            return _c_idiv(old, value)
         return old / value
     raise InterpError(f"unknown compound op {op}")
+
+
+def _c_idiv(left: int, right: int) -> int:
+    """C-style integer division (truncation toward zero) in exact integer
+    arithmetic — ``int(left / right)`` detours through a float, which both
+    loses precision and overflows once the program computes big values
+    (found by ``parcoach fuzz``)."""
+    q = abs(left) // abs(right)
+    return -q if (left < 0) != (right < 0) else q
+
+
+def _c_imod(left: int, right: int) -> int:
+    """C-style remainder (sign of the dividend) in exact integer
+    arithmetic; ``math.fmod`` overflows on big ints the same way."""
+    m = abs(left) % abs(right)
+    return -m if left < 0 else m
 
 
 # --------------------------------------------------------------------------------
@@ -538,8 +554,21 @@ def _apply_compound(op: str, old: Any, value: Any) -> Any:
 # --------------------------------------------------------------------------------
 
 
+def _fmt(value: Any) -> str:
+    """Render one print argument.  Astronomically large ints (a fuzz-grown
+    ``x *= x`` loop) would trip CPython's int-to-str digit limit — render a
+    deterministic magnitude summary instead of crashing the run."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        try:
+            return str(value)
+        except ValueError:  # exceeds sys.get_int_max_str_digits()
+            sign = "-" if value < 0 else ""
+            return f"{sign}<int ~10^{value.bit_length() * 30103 // 100000}>"
+    return str(value)
+
+
 def _b_print(interp: Interpreter, call: A.Call, env: Env, ctx: ExecCtx) -> None:
-    parts = [str(interp.eval(a, env, ctx)) for a in call.args]
+    parts = [_fmt(interp.eval(a, env, ctx)) for a in call.args]
     interp.proc.output.append(" ".join(parts))
 
 

@@ -1,0 +1,10 @@
+"""repro.util — small shared algorithmic utilities.
+
+Currently: :func:`repro.util.ddmin.ddmin`, the greedy delta-debugging core
+shared by schedule-trace minimization (:mod:`repro.explore.minimize`) and
+fuzzer counterexample reduction (:mod:`repro.fuzz.reduce`).
+"""
+
+from .ddmin import ddmin
+
+__all__ = ["ddmin"]

@@ -1,0 +1,56 @@
+"""Greedy delta debugging (ddmin) over an arbitrary item sequence.
+
+The classic Zeller/Hildebrandt reduction loop, generic over the item type:
+trace minimization runs it over schedule *choice names* (strings), program
+reduction over *statement indices* (ints).  The caller supplies the
+interestingness predicate; ddmin only removes chunks and keeps a candidate
+when the predicate still holds, so a (1-minimal, budget permitting)
+subsequence comes back.
+
+``failing(candidate)`` must be deterministic for the 1-minimality claim to
+mean anything — both users replay fully deterministic runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    failing: Callable[[List[T]], bool],
+    items: Sequence[T],
+    budget: int = 200,
+) -> List[T]:
+    """Minimize ``items`` under ``failing``: returns a subsequence for which
+    ``failing`` still returns True (the original sequence is assumed
+    failing).  At most ``budget`` predicate evaluations are spent."""
+    spent = 0
+
+    def test(candidate: List[T]) -> bool:
+        nonlocal spent
+        if spent >= budget:
+            return False
+        spent += 1
+        return failing(candidate)
+
+    current = list(items)
+    if test([]):  # the empty input already reproduces
+        return []
+    granularity = 2
+    while len(current) >= 2 and spent < budget:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and test(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
