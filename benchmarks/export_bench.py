@@ -52,6 +52,7 @@ def run_benchmarks(raw_json: str) -> None:
         os.path.join(HERE, "bench_scale.py"),
         os.path.join(HERE, "bench_explore.py"),
         os.path.join(HERE, "bench_fuzz.py"),
+        os.path.join(HERE, "bench_incremental.py"),
         "-q", "--benchmark-only", f"--benchmark-json={raw_json}",
     ]
     subprocess.run(cmd, check=True, cwd=REPO, env=env)
@@ -107,6 +108,15 @@ def compact(raw: dict) -> dict:
     }
     if overhead:
         derived["interproc_overhead"] = overhead
+    session_cold = by_config.get("session_cold", {})
+    session_edit = by_config.get("session_edit", {})
+    incremental = {
+        size: round(session_cold[size] / session_edit[size], 2)
+        for size in session_cold
+        if size in session_edit and session_edit[size] > 0
+    }
+    if incremental:
+        derived["incremental_speedup"] = incremental
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
     if fuzz_rates:

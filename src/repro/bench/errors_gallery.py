@@ -195,6 +195,33 @@ void main() {
     expect_static=(ErrorCode.COLLECTIVE_MISMATCH,),
 )
 
+_case(
+    name="early_return_always_barrier",
+    description="helper that barriers on every path but returns early on "
+                "one of them: paper-mode warning (branch-duplicated "
+                "collective), runtime clean — and the CFG post-dominance "
+                "must-summary still classifies MPI_Barrier [always], which "
+                "the structural rule demoted to conditional",
+    source="""
+int sync_or_bail(int v) {
+    if (v > 100) {
+        MPI_Barrier();
+        return 100;
+    }
+    MPI_Barrier();
+    return v;
+}
+
+void main() {
+    MPI_Init_thread(0);
+    int x = 1;
+    x = sync_or_bail(x);
+    MPI_Finalize();
+}
+""",
+    expect_static=(ErrorCode.COLLECTIVE_MISMATCH,),
+)
+
 # -- inter-process mismatches -----------------------------------------------------
 
 _case(

@@ -52,8 +52,28 @@ Subcommands::
         ddmin-reduces each disagreement; with ``--corpus DIR`` the reduced
         ``.mini``/``.json`` pair is persisted for regression replay.
         Every finding reproduces alone via ``fuzz --seeds 1 --seed S``.
+    parcoach serve [--jobs N] [--precision P] [--no-interprocedural]
+                   [--initial-context W]
+        persistent incremental analysis session: a line protocol on stdin
+        (``analyze PATH`` / ``stats`` / ``quit``), one Report IR JSON
+        document per line on stdout.  Edits are diffed by per-function
+        structural fingerprint; only changed functions (plus their
+        call-graph dependents whose summaries/contexts moved) re-analyze,
+        and only changed findings are re-emitted.
+    parcoach watch FILE [--interval SECS] [--max-updates N]
+        analyze FILE now, then poll it and re-emit a delta report on every
+        content change
+    parcoach validate-report [FILE ...]
+        validate Report IR documents (``-``/stdin supported; exit 2 on any
+        schema or fingerprint violation)
     parcoach cfg FILE FUNC [-o OUT.dot]
         dump one function's CFG as Graphviz DOT
+
+Machine-readable output: ``analyze``, ``callgraph``, ``explore`` and
+``fuzz`` accept ``--json`` and then emit the unified, versioned Report IR
+(schema ``parcoach-report`` v1, see ``docs/report-schema.md``) instead of
+their text output — byte-identical across re-parses of identical source,
+with a stable fingerprint per finding.  Exit codes are unchanged.
 
 Exit-code contract (uniform across subcommands)::
 
@@ -92,7 +112,7 @@ from .runtime import run_program
 from .runtime.errors import ValidationError
 
 
-def _load(path: str):
+def _load(path: str, want_source: bool = False):
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     program = parse_program(source, path)
@@ -105,7 +125,7 @@ def _load(path: str):
     for issue in issues:
         if issue.severity == "warning":
             print(f"{path}:{issue}", file=sys.stderr)
-    return program
+    return (program, source) if want_source else program
 
 
 def _initial_context(args, program):
@@ -120,7 +140,7 @@ def _initial_context(args, program):
 
 
 def _cmd_analyze(args) -> int:
-    program = _load(args.file)
+    program, source = _load(args.file, want_source=True)
     initial, entry_context = _initial_context(args, program)
     kwargs = dict(initial_words=initial, precision=args.precision,
                   interprocedural=args.interprocedural,
@@ -130,18 +150,28 @@ def _cmd_analyze(args) -> int:
             analysis = engine.analyze(program, **kwargs)
     else:
         analysis = analyze_program(program, **kwargs)
-    print(render_report(analysis, verbose=args.verbose), end="")
+    if args.json:
+        from .core.report import render_json, report_from_analysis
+        print(render_json(report_from_analysis(
+            analysis, source_path=args.file, source_text=source)), end="")
+    else:
+        print(render_report(analysis, verbose=args.verbose), end="")
     return 1 if len(analysis.diagnostics) else 0
 
 
 def _cmd_callgraph(args) -> int:
-    program = _load(args.file)
+    program, source = _load(args.file, want_source=True)
     entry_context = (parse_word(args.initial_context)
                      if args.initial_context else EMPTY)
     plan = build_plan(program, index_program(program),
                       entry_context=entry_context)
     graph, contexts, summaries = plan.graph, plan.contexts, plan.summaries
-    if args.dot:
+    if args.json:
+        from .core.report import render_json, report_from_callgraph
+        text = render_json(report_from_callgraph(
+            graph, contexts, summaries, source_path=args.file,
+            source_text=source))
+    elif args.dot:
         text = callgraph_to_dot(graph, contexts, summaries)
     else:
         lines = [f"call graph of {args.file}: {len(graph.order)} functions, "
@@ -185,8 +215,14 @@ def _cmd_batch(args) -> int:
             info = engine.cache_info()
             print(f"engine: {info['programs']} programs, {info['functions']} "
                   f"function analyses, {info['hits']} cache hits "
-                  f"({info['remaps']} remapped), {info['misses']} misses, "
-                  f"hit rate {info['hit_rate']:.1%}", file=sys.stderr)
+                  f"({info['lazy_hits']} lazy, {info['remaps']} remapped, "
+                  f"{info['deferred_remaps']} deferred), "
+                  f"{info['misses']} misses, hit rate {info['hit_rate']:.1%}",
+                  file=sys.stderr)
+            print(f"engine: {info['evictions']} evictions, "
+                  f"{info['dependency_invalidations']} invalidated by "
+                  f"dependency, {info['remap_fallbacks']} remap fallbacks",
+                  file=sys.stderr)
     return 1 if any_warnings else 0
 
 
@@ -244,7 +280,7 @@ def _cmd_explore(args) -> int:
     from .explore import (ExploreConfig, ScheduleTrace, explore_config,
                           replay, verdict_line)
 
-    program = _load(args.file)
+    program, source = _load(args.file, want_source=True)
     trace = ScheduleTrace.load(args.replay) if args.replay else None
     # A trace records whether it was taken on the instrumented program;
     # replay honors that so the schedule actually lines up.
@@ -259,16 +295,40 @@ def _cmd_explore(args) -> int:
     if trace is not None:
         result, _new_trace, divergences = replay(program, trace,
                                                  group_kinds=group_kinds)
-        for rank in sorted(result.outputs):
-            for line in result.outputs[rank]:
-                print(f"[rank {rank}] {line}")
         line = verdict_line(result)
         reproduced = line == trace.verdict
-        match = "reproduced" if reproduced else (
-            f"DIVERGED from recorded verdict: {trace.verdict}")
-        print(f"verdict: {line}", file=sys.stderr)
-        print(f"replay of {trace.mode} trace ({len(trace.choices)} choices, "
-              f"{divergences} divergences): {match}", file=sys.stderr)
+        if args.json:
+            from .core.report import (build_report, render_json,
+                                      source_stamp, _fingerprinted)
+            findings = []
+            if not result.ok:
+                findings.append(_fingerprinted({
+                    "kind": "schedule-failure",
+                    "config": dict(trace.config),
+                    "strategy": "replay",
+                    "schedules": 1, "failed": 1,
+                    "verdict": line,
+                    "verdict_class": type(result.error).__name__
+                    if result.error is not None else "",
+                }))
+            print(render_json(build_report(
+                "explore", source=source_stamp(args.file, source),
+                findings=findings,
+                verdict="error" if not reproduced else None,
+                summary={"mode": "replay", "trace": args.replay,
+                         "choices": len(trace.choices),
+                         "divergences": divergences,
+                         "reproduced": reproduced})), end="")
+        else:
+            for rank in sorted(result.outputs):
+                for out_line in result.outputs[rank]:
+                    print(f"[rank {rank}] {out_line}")
+            match = "reproduced" if reproduced else (
+                f"DIVERGED from recorded verdict: {trace.verdict}")
+            print(f"verdict: {line}", file=sys.stderr)
+            print(f"replay of {trace.mode} trace ({len(trace.choices)} "
+                  f"choices, {divergences} divergences): {match}",
+                  file=sys.stderr)
         if not reproduced:
             return 2
         return 0 if result.ok else 1
@@ -284,12 +344,15 @@ def _cmd_explore(args) -> int:
     total_failed = 0
     save_trace = None  # first minimized trace, else first failing full trace
     save_kind = ""
+    config_reports = []
     for config in configs:
         report = explore_config(
             program, config, strategy=args.strategy, runs=args.runs,
             preemptions=args.preemptions, seed=args.seed,
             group_kinds=group_kinds, minimize=not args.no_minimize)
-        print(report.summary())
+        config_reports.append(report)
+        if not args.json:
+            print(report.summary())
         total_schedules += report.schedules
         total_failed += report.failed
         if save_kind != "minimized":
@@ -297,6 +360,11 @@ def _cmd_explore(args) -> int:
                 save_trace, save_kind = report.minimized, "minimized"
             elif save_trace is None and report.failures:
                 save_trace, save_kind = report.failures[0].trace, "failing"
+    if args.json:
+        from .core.report import render_json, report_from_explore
+        print(render_json(report_from_explore(
+            config_reports, source_path=args.file, source_text=source)),
+            end="")
     if total_failed:
         print(f"mismatch in {total_failed}/{total_schedules} schedules",
               file=sys.stderr)
@@ -323,7 +391,12 @@ def _cmd_fuzz(args) -> int:
         seeds=args.seeds, base_seed=args.seed, gen_config=GenConfig(),
         oracle_config=oracle_config, budget=args.budget, jobs=args.jobs,
         shrink=args.shrink, corpus_dir=args.corpus, progress=progress)
-    print(report.summary())
+    if args.json:
+        from .core.report import render_json, report_from_fuzz
+        print(render_json(report_from_fuzz(report, seeds=args.seeds,
+                                           base_seed=args.seed)), end="")
+    else:
+        print(report.summary())
     for outcome in report.disagreements:
         print(f"{outcome.classification}: seed {outcome.seed} "
               f"({outcome.verdict.crash_detail or outcome.verdict.describe()})"
@@ -337,6 +410,37 @@ def _cmd_fuzz(args) -> int:
               + (" …" if len(report.overapprox_seeds) > 20 else ""),
               file=sys.stderr)
     return report.exit_code()
+
+
+def _session_from_args(args):
+    from .core.session import AnalysisSession
+
+    entry_context = (parse_word(args.initial_context)
+                     if args.initial_context else EMPTY)
+    return AnalysisSession(jobs=args.jobs, precision=args.precision,
+                           interprocedural=args.interprocedural,
+                           entry_context=entry_context)
+
+
+def _cmd_serve(args) -> int:
+    from .core.session import run_serve
+
+    with _session_from_args(args) as session:
+        return run_serve(session)
+
+
+def _cmd_watch(args) -> int:
+    from .core.session import run_watch
+
+    with _session_from_args(args) as session:
+        return run_watch(session, args.file, interval=args.interval,
+                         max_updates=args.max_updates)
+
+
+def _cmd_validate_report(args) -> int:
+    from .core.report import _validate_main
+
+    return _validate_main(args.files)
 
 
 def _cmd_cfg(args) -> int:
@@ -388,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
                    action=argparse.BooleanOptionalAction,
                    help="propagate calling-context words over the call "
                         "graph (default on)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the versioned Report IR (parcoach-report v1) "
+                        "instead of the text report")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=_cmd_analyze)
 
@@ -397,6 +504,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--dot", action="store_true",
                    help="emit Graphviz DOT instead of text")
+    p.add_argument("--json", action="store_true",
+                   help="emit the versioned Report IR instead of text/DOT")
     p.add_argument("-o", "--output", help="write the output here instead of stdout")
     p.add_argument("--initial-context", default="",
                    help="parallelism word seeding the entry functions")
@@ -469,6 +578,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "minimization ran (default FILE.trace.json)")
     p.add_argument("--no-minimize", action="store_true",
                    help="skip delta-debugging the first failing schedule")
+    p.add_argument("--json", action="store_true",
+                   help="emit the versioned Report IR instead of per-config "
+                        "summary lines")
     p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser(
@@ -496,9 +608,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-np", type=int, default=2, help="MPI ranks (default 2)")
     p.add_argument("-nt", type=int, default=2,
                    help="OpenMP threads per team (default 2)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the versioned Report IR instead of the "
+                        "summary line")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="per-seed verdict lines + overapprox seed list")
     p.set_defaults(fn=_cmd_fuzz)
+
+    def _session_flags(p) -> None:
+        p.add_argument("--precision", choices=("paper", "counting"),
+                       default="paper")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for cache misses (default 1)")
+        p.add_argument("--interprocedural", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="propagate calling-context words over the call "
+                            "graph (default on)")
+        p.add_argument("--initial-context", default="",
+                       help="parallelism word seeding the entry functions")
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent incremental analysis session (line protocol on "
+             "stdin, Report IR JSON lines on stdout)",
+        description="Commands on stdin: 'analyze PATH' re-reads PATH and "
+                    "emits a delta report (only changed findings; the "
+                    "summary lists changed/dependent/re-analyzed functions "
+                    "and cache invalidations), 'stats' emits engine + "
+                    "session counters, 'quit' exits.  Edits are diffed by "
+                    "per-function structural fingerprint; unchanged "
+                    "functions are never re-analyzed.")
+    _session_flags(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "watch",
+        help="watch one file and re-emit a delta report on every change")
+    p.add_argument("file")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECS",
+                   help="poll interval (default 0.5s)")
+    p.add_argument("--max-updates", type=int, default=0, metavar="N",
+                   help="exit after N emitted updates (0 = run until "
+                        "interrupted)")
+    _session_flags(p)
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "validate-report",
+        help="validate Report IR documents (files or stdin via '-')")
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.set_defaults(fn=_cmd_validate_report)
 
     p = sub.add_parser("cfg", help="dump a function's CFG as DOT")
     p.add_argument("file")

@@ -15,7 +15,15 @@ from .driver import FunctionAnalysis, ProgramAnalysis, analyze_program
 from .engine import AnalysisEngine, EngineStats, ast_fingerprint
 from .instrument import InstrumentationReport, instrument_program
 from .monothread import MonothreadResult, analyze_monothread
-from .report import analysis_summary, render_report
+from .report import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    analysis_summary,
+    render_json,
+    render_report,
+    report_from_analysis,
+    validate_report,
+)
 from .sequence import CollectiveFinding, SequenceResult, analyze_sequence
 from .sites import CollectiveSite, collect_sites, collective_call_graph
 
@@ -45,6 +53,11 @@ __all__ = [
     "analyze_monothread",
     "analysis_summary",
     "render_report",
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "render_json",
+    "report_from_analysis",
+    "validate_report",
     "CollectiveFinding",
     "SequenceResult",
     "analyze_sequence",

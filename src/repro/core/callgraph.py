@@ -31,9 +31,17 @@ module closes the gap with three whole-program passes:
   over the SCC DAG in reverse topological order (callees first; members of a
   cyclic SCC iterate until stable from an optimistic ``never`` start, so
   recursion is handled soundly).  ``may`` is exact on the AST; ``must`` is a
-  conservative under-approximation (loops and early exits demote to
-  ``conditional``).  The driver uses the summaries to turn expression-level
-  calls to collective-executing helpers into phase-3 sequence points.
+  sound under-approximation combining two views: the structural walk
+  (workshare-aware — ``single``/``master``/``sections`` bodies execute per
+  MPI process) and a CFG post-dominance formulation — a collective is
+  ``always`` when the set of CFG blocks executing it collectively
+  post-dominates the entry, i.e. removing those blocks disconnects the
+  entry from the exit.  The CFG view classifies ``always`` through early
+  ``return``s and branch-duplicated collectives, which demote to
+  ``conditional`` under the purely structural rule; ``task`` bodies stay
+  may-only (deferred execution).  The driver uses the summaries to turn
+  expression-level calls to collective-executing helpers into phase-3
+  sequence points.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..cfg import build_cfg
 from ..minilang import ast_nodes as A
 from ..mpi.collectives import is_collective
 from ..parallelism import EMPTY, Word, compute_words
@@ -453,24 +462,143 @@ def _summarize_stmt(stmt: A.Stmt, summaries: Dict[str, FunctionSummary],
     return may, must, False
 
 
+@dataclass
+class _CfgFacts:
+    """Per-function facts for the CFG post-dominance ``must`` check."""
+
+    cfg: object
+    #: collective name -> live CFG block ids directly executing it
+    #: (task-deferred calls excluded: their execution point is unordered).
+    direct: Dict[str, Set[int]]
+    #: (callee name, block id) for every live, non-deferred call to a user
+    #: function — blocked too when the callee's summary says ALWAYS.
+    user_calls: Tuple[Tuple[str, int], ...]
+
+
+def _exit_reachable_avoiding(cfg, blocked: Set[int]) -> bool:
+    """True when some entry→exit path avoids every block in ``blocked`` —
+    i.e. ``blocked`` does *not* collectively post-dominate the entry."""
+    if cfg.entry_id in blocked:
+        return False
+    seen = {cfg.entry_id}
+    stack = [cfg.entry_id]
+    while stack:
+        block = stack.pop()
+        if block == cfg.exit_id:
+            return True
+        for succ in cfg.successors(block):
+            if succ not in seen and succ not in blocked:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+def _build_cfg_facts(func: A.FuncDef, names: Set[str],
+                     index: ProgramIndex) -> _CfgFacts:
+    cfg, ast_block = build_cfg(func, names)
+    task_uids: Set[int] = set()
+    for node in func.walk():
+        if isinstance(node, A.OmpTask):
+            task_uids.update(n.uid for n in node.walk())
+    stmt_calls = {id(s.expr): s for s in index.call_stmts.get(func.name, [])}
+    expr_sites = {id(s.call): s for s in index.expr_calls.get(func.name, [])}
+    direct: Dict[str, Set[int]] = {}
+    user_calls: List[Tuple[str, int]] = []
+    for call in index.calls.get(func.name, []):
+        target = call.name
+        if not (is_collective(target) or target in names):
+            continue
+        if call.uid in task_uids:
+            continue  # deferred: may-only, never a must event
+        stmt = stmt_calls.get(id(call))
+        if stmt is not None:
+            uids: Tuple[int, ...] = (stmt.uid,)
+        else:
+            site = expr_sites.get(id(call))
+            if site is None:
+                continue
+            uids = site.stmt_uids
+        block = next((ast_block[u] for u in uids if u in ast_block), None)
+        if block is None or block not in cfg.blocks:
+            continue  # dead code: the call can never execute
+        if is_collective(target):
+            direct.setdefault(target, set()).add(block)
+        else:
+            user_calls.append((target, block))
+    return _CfgFacts(cfg=cfg, direct=direct, user_calls=tuple(user_calls))
+
+
 def collective_summaries(program: A.Program,
-                         graph: Optional[CallGraph] = None
+                         graph: Optional[CallGraph] = None,
+                         index: Optional[ProgramIndex] = None,
+                         prev: Optional[Dict[str, FunctionSummary]] = None,
+                         dirty: Optional[Set[str]] = None
                          ) -> Dict[str, FunctionSummary]:
     """Always/conditionally/never summaries for every function — fixpoint
-    over the SCC DAG, callees first; cyclic SCCs iterate until stable."""
+    over the SCC DAG, callees first; cyclic SCCs iterate until stable.
+
+    ``must`` is the union of the structural under-approximation and the CFG
+    post-dominance check: a collective some path duplicates across branches
+    (or runs just before an early ``return``) is still ``always`` when every
+    entry→exit path of the CFG passes a block executing it.
+
+    **Incremental mode** (the session layer): pass the previous program
+    version's ``prev`` summaries and the set of ``dirty`` function names
+    (bodies that changed, plus new functions).  An SCC is recomputed only
+    when a member is dirty or some callee's summary actually changed —
+    otherwise the previous summaries are copied.  Dirtiness therefore
+    propagates up the call graph exactly as far as summaries really change,
+    and the common one-function edit costs one SCC recomputation plus
+    O(call-graph) comparisons instead of a whole-program fixpoint.
+    """
+    if index is None:
+        index = index_program(program)
     if graph is None:
-        graph = build_call_graph(program)
+        graph = build_call_graph(program, index)
     funcs = {f.name: f for f in program.funcs}
     names = set(funcs)
     summaries: Dict[str, FunctionSummary] = {n: FunctionSummary() for n in names}
+    incremental = prev is not None and dirty is not None
+    #: Lazily built per function — only when the structural rule left some
+    #: may-collective conditional (most functions never need their CFG here).
+    cfg_facts: Dict[str, _CfgFacts] = {}
 
     def recompute(name: str) -> Dict[str, str]:
         may, must, _exit = _summarize_block(funcs[name].body.stmts,
                                             summaries, names)
+        if may - must:
+            facts = cfg_facts.get(name)
+            if facts is None:
+                facts = cfg_facts[name] = _build_cfg_facts(funcs[name], names,
+                                                           index)
+            for cname in sorted(may - must):
+                blocked = set(facts.direct.get(cname, ()))
+                for callee, block in facts.user_calls:
+                    if summaries[callee].collectives.get(cname) == ALWAYS:
+                        blocked.add(block)
+                if blocked and not _exit_reachable_avoiding(facts.cfg, blocked):
+                    must.add(cname)
         return {n: (ALWAYS if n in must else CONDITIONAL) for n in sorted(may)}
 
     for scc in graph.sccs:  # reverse topological: callees already final
         members = list(scc)
+        if (incremental and not any(m in dirty for m in members)
+                and all(m in prev for m in members)):
+            scc_set = set(members)
+            extern = {e.callee for m in members for e in graph.edges[m]
+                      if e.callee in names and e.callee not in scc_set}
+            if all(c in prev
+                   and summaries[c].collectives == prev[c].collectives
+                   for c in extern):
+                # Clean SCC with unchanged callee summaries: copy through.
+                for m in members:
+                    summaries[m].collectives = dict(prev[m].collectives)
+                continue
+        if len(members) == 1 and members[0] not in graph.recursive:
+            # Non-recursive singleton: the callees are final, so one pass
+            # is the fixpoint — no confirmation round needed.
+            summaries[members[0]].collectives = recompute(members[0])
+            continue
         changed = True
         while changed:
             changed = False

@@ -183,13 +183,25 @@ class InterproceduralPlan:
 
 def build_plan(program: A.Program, index: ProgramIndex,
                initial_words: Optional[Dict[str, Word]] = None,
-               entry_context: Word = EMPTY) -> InterproceduralPlan:
+               entry_context: Word = EMPTY,
+               graph: Optional[CallGraph] = None,
+               contexts: Optional[ContextMap] = None,
+               summaries: Optional[Dict[str, FunctionSummary]] = None
+               ) -> InterproceduralPlan:
     """Call graph + context propagation + summaries + expression-call
-    sequence points for one program."""
-    graph = build_call_graph(program, index)
-    contexts = propagate_contexts(program, graph, seeds=initial_words,
-                                  entry_context=entry_context)
-    summaries = collective_summaries(program, graph)
+    sequence points for one program.
+
+    The three whole-program passes can be supplied precomputed — the
+    session layer builds the summaries incrementally (previous summaries +
+    dirty set) and reuses this function only for the expression-call
+    sequence-point tail."""
+    if graph is None:
+        graph = build_call_graph(program, index)
+    if contexts is None:
+        contexts = propagate_contexts(program, graph, seeds=initial_words,
+                                      entry_context=entry_context)
+    if summaries is None:
+        summaries = collective_summaries(program, graph, index)
     extra_points: Dict[str, Tuple[ExtraPoint, ...]] = {}
     extra_tokens: Dict[str, Tuple[Tuple[int, str], ...]] = {}
     for name in graph.order:

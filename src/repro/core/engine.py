@@ -5,13 +5,20 @@ compile pipeline run once per mode) re-analyze structurally identical
 functions over and over.  :class:`AnalysisEngine` removes that redundancy:
 
 * **Memoization** — per-function artifacts are cached under a *structural
-  fingerprint* of the function AST (type/field/position-sensitive, uid-
-  insensitive), plus everything else the per-function pipeline depends on:
-  the initial parallelism word, the phase-3 precision, and the function's
-  calls that resolve to user / collective functions.  A re-parse of the same
-  source hits the cache; the uid-keyed artifacts are *remapped* onto the new
-  AST by walking both trees in lock-step (identical fingerprint ⇒ identical
-  shape ⇒ the pre-order walks pair up 1:1).
+  fingerprint* of the function AST (type/field/line-sensitive, uid- and
+  column-insensitive), plus everything else the per-function pipeline
+  depends on: the initial parallelism word, the phase-3 precision, and the
+  function's calls that resolve to user / collective functions.  Every
+  cache entry also records the cached tree's pre-order uid sequence
+  (``uid_at_pos``) — stable pre-order *positions*, not transient uids, are
+  the native key of the store: a re-parse of the same source hits the cache
+  and the uid-keyed artifact maps are rebuilt from the position sequence
+  with a single walk of the *new* tree only, and only **lazily** — the
+  remap is deferred until something actually consumes the per-uid maps
+  (rendering a report, instrumenting).  A reparse hit whose result is never
+  rendered does zero per-uid remap work and is exactly as cheap as an
+  identity hit (``stats.lazy_hits`` counts deferred hits, ``stats.remaps``
+  counts remaps actually materialized).
 
 * **Parallel fan-out** — the per-function phases are independent, so cache
   misses can be analyzed in a process pool (``jobs > 1``).  Results are
@@ -67,9 +74,11 @@ def ast_fingerprint(func: A.FuncDef) -> str:
     """Structural hash of a function AST.
 
     Dataclass ``repr`` recursively serializes every node with its fields and
-    ``line``/``col`` but *excludes* ``uid`` (declared ``repr=False``), so two
-    byte-equal re-parses of the same source share a fingerprint while any
-    structural or positional difference changes it."""
+    ``line`` but *excludes* ``uid`` and ``col`` (declared ``repr=False``), so
+    two re-parses of the same source — or of sources differing only in
+    same-line whitespace — share a fingerprint, while any structural or
+    line-position difference changes it.  (Lines are part of the fingerprint
+    because diagnostics are line-addressed; columns are reported nowhere.)"""
     return hashlib.sha256(repr(func).encode("utf-8")).hexdigest()
 
 
@@ -82,14 +91,31 @@ _Key = Tuple[str, Word, str, Tuple[str, ...], Tuple[str, ...],
 
 @dataclass
 class EngineStats:
-    """Counters exposed by :meth:`AnalysisEngine.cache_info`."""
+    """Counters exposed by :meth:`AnalysisEngine.cache_info`.
+
+    All fields are plain ints, so :meth:`as_dict` round-trips through JSON
+    losslessly (``from_dict(json.loads(json.dumps(s.as_dict()))) == s``);
+    the derived ``hit_rate`` is recomputed, never stored.
+    """
 
     programs: int = 0
     functions: int = 0
     hits: int = 0
     misses: int = 0
-    #: Hits served by remapping artifacts onto a re-parsed (different) AST.
+    #: Reparse hits whose per-uid remap was deferred (served as a lazy view).
+    lazy_hits: int = 0
+    #: Remaps actually materialized (a consumer touched the per-uid maps).
     remaps: int = 0
+    #: Deferred remaps whose cache source had mutated by materialization
+    #: time; the function was re-analyzed from scratch instead.
+    remap_fallbacks: int = 0
+    #: Cache entries dropped via :meth:`AnalysisEngine.invalidate_fingerprints`
+    #: (the session evicts edited / renamed / deleted functions' artifacts).
+    evictions: int = 0
+    #: Functions re-analyzed because a call-graph *dependency* changed (a
+    #: callee's summary or context made the cache key move), not their own
+    #: body — counted by the session layer.
+    dependency_invalidations: int = 0
     #: Functions analyzed in worker processes.
     parallel_tasks: int = 0
 
@@ -98,16 +124,36 @@ class EngineStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def deferred_remaps(self) -> int:
+        """Lazy hits whose remap was never (or not yet) materialized."""
+        return self.lazy_hits - self.remaps - self.remap_fallbacks
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "programs": self.programs,
             "functions": self.functions,
             "hits": self.hits,
             "misses": self.misses,
+            "lazy_hits": self.lazy_hits,
             "remaps": self.remaps,
+            "deferred_remaps": self.deferred_remaps,
+            "remap_fallbacks": self.remap_fallbacks,
+            "evictions": self.evictions,
+            "dependency_invalidations": self.dependency_invalidations,
             "parallel_tasks": self.parallel_tasks,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "EngineStats":
+        """Inverse of :meth:`as_dict` (derived entries are ignored)."""
+        kwargs = {f: int(data[f]) for f in (
+            "programs", "functions", "hits", "misses", "lazy_hits", "remaps",
+            "remap_fallbacks", "evictions", "dependency_invalidations",
+            "parallel_tasks",
+        ) if f in data}
+        return cls(**kwargs)
 
 
 @dataclass
@@ -118,6 +164,12 @@ class _CacheEntry:
     #: detected in O(1) instead of being served as stale artifacts.
     version: int
     key: _Key
+    #: The cached function's uids in pre-order — the content-addressed
+    #: store's native coordinate system.  A remap onto a re-parsed tree only
+    #: walks the *new* tree (equal fingerprints guarantee equal shape) and
+    #: pairs its nodes with this sequence positionally; the old tree is
+    #: never re-walked.
+    uid_at_pos: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -172,25 +224,23 @@ def _remap_artifacts(entry: _CacheEntry,
                      new_func: A.FuncDef) -> Optional[FunctionArtifacts]:
     """Transplant cached artifacts onto a structurally identical AST.
 
-    Equal fingerprints guarantee equal tree shape, so the pre-order walks of
-    the cached and the new function pair up node-for-node; every uid-keyed
-    map is rewritten through that pairing.  The CFG (keyed by block ids, not
-    uids) and the phase-3 result ride along unchanged — including the
-    dominator trees already cached on the CFG.  Returns ``None`` when the
-    shapes do not match after all (mutated cache source): caller re-analyzes.
+    Equal fingerprints guarantee equal tree shape, so the cached pre-order
+    uid sequence (``entry.uid_at_pos``) pairs up position-for-position with
+    a single pre-order walk of the *new* function; every uid-keyed map is
+    rewritten through that pairing (the old tree is not re-walked and no
+    per-node type checks are needed — the fingerprint already proved the
+    shapes equal).  The CFG (keyed by block ids, not uids) and the phase-3
+    result ride along unchanged — including the dominator trees already
+    cached on the CFG.  Returns ``None`` when the node counts do not match
+    after all (mutated cache source): caller re-analyzes.
     """
     old = entry.artifacts
-    old_nodes = list(old.func.walk())
+    uid_at_pos = entry.uid_at_pos or tuple(n.uid for n in old.func.walk())
     new_nodes = list(new_func.walk())
-    if len(old_nodes) != len(new_nodes):
+    if len(uid_at_pos) != len(new_nodes):
         return None
-    node_map: Dict[int, A.Node] = {}
-    uid_map: Dict[int, int] = {}
-    for o, n in zip(old_nodes, new_nodes):
-        if type(o) is not type(n):
-            return None
-        node_map[o.uid] = n
-        uid_map[o.uid] = n.uid
+    node_map: Dict[int, A.Node] = dict(zip(uid_at_pos, new_nodes))
+    uid_map: Dict[int, int] = {o: n.uid for o, n in zip(uid_at_pos, new_nodes)}
 
     sites: List[CollectiveSite] = []
     for s in old.sites:
@@ -232,6 +282,82 @@ def _remap_artifacts(entry: _CacheEntry,
     )
 
 
+@dataclass
+class _PendingRemap:
+    """A reparse cache hit whose per-uid remap has not been materialized.
+
+    Carries everything needed either to materialize the remap (the cache
+    entry + the new function) or — if the cached source mutated in the
+    meantime — to re-analyze the function from scratch."""
+
+    entry: _CacheEntry
+    func: A.FuncDef
+    word: Word
+    call_stmts: object
+    extra: object
+
+
+class LazyProgramAnalysis:
+    """Deferred :class:`~repro.core.driver.ProgramAnalysis`.
+
+    The engine returns this from :meth:`AnalysisEngine.analyze`: cache
+    lookups, plan computation and cache-miss analyses have already happened
+    eagerly, but per-context merging, program-level synthesis and — crucially
+    — the per-uid remap of reparse hits are all deferred until the first
+    attribute access (rendering a report, instrumenting, reading
+    diagnostics).  A caller that never touches the result (an incremental
+    probe, a benchmark round, a session update whose findings are diffed by
+    fingerprint) pays nothing beyond the cache lookups.
+
+    The proxy forwards every attribute, so it is a drop-in stand-in for
+    ``ProgramAnalysis`` everywhere short of ``isinstance`` checks.
+    """
+
+    __slots__ = ("_thunk", "_analysis")
+
+    def __init__(self, thunk) -> None:
+        self._thunk = thunk
+        self._analysis = None
+
+    @property
+    def materialized(self) -> bool:
+        """True once the underlying analysis has been forced."""
+        return self._analysis is not None
+
+    def force(self) -> ProgramAnalysis:
+        """Materialize (idempotent) and return the underlying analysis."""
+        analysis = self._analysis
+        if analysis is None:
+            analysis = self._analysis = self._thunk()
+            self._thunk = None
+        return analysis
+
+    def __getattr__(self, name: str):
+        return getattr(self.force(), name)
+
+
+@dataclass
+class AnalyzeRecord:
+    """What one :meth:`AnalysisEngine.analyze` call did, per function —
+    consumed by the session layer to report which functions were actually
+    re-analyzed vs served from the content-addressed store."""
+
+    #: (function name, context word) pairs analyzed from scratch.
+    missed: List[Tuple[str, Word]] = field(default_factory=list)
+    #: Function names served as deferred (lazy) reparse hits.
+    lazy: List[str] = field(default_factory=list)
+    #: Function names served by object identity (same AST, warm path).
+    identity: List[str] = field(default_factory=list)
+
+    @property
+    def missed_functions(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for name, _word in self.missed:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
 def _analyze_function_task(payload) -> FunctionArtifacts:
     """Process-pool entry point (top-level so it pickles)."""
     (func, func_names, collective_funcs, word, precision, call_stmts,
@@ -259,12 +385,18 @@ class AnalysisEngine:
         self.jobs = max(1, int(jobs))
         self.cache_enabled = bool(cache)
         self.stats = EngineStats()
+        #: Per-function record of the most recent :meth:`analyze` call.
+        self.last = AnalyzeRecord()
         self._cache: Dict[_Key, _CacheEntry] = {}
         #: id(func) -> (func, structure_version, fingerprint): skips hashing
         #: when the very same AST object is re-analyzed (warm batch loops).
         self._identity: Dict[int, Tuple[A.FuncDef, int, str]] = {}
         #: id(program) -> memoized program-level facts.
         self._programs: Dict[int, _ProgramMemo] = {}
+        #: id(func) -> per-function index entry (see sites.index_program):
+        #: re-indexing a program that reuses FuncDef objects (the session
+        #: layer's incremental re-parse) costs lookups, not tree walks.
+        self._func_index: Dict[int, tuple] = {}
         #: Persistent worker pool, created lazily on the first jobs>1 fan-out
         #: and reused across analyze() calls (spawn cost amortized).
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -297,6 +429,24 @@ class AnalysisEngine:
         self._cache.clear()
         self._identity.clear()
         self._programs.clear()
+        self._func_index.clear()
+
+    def invalidate_fingerprints(self, fingerprints) -> int:
+        """Drop every cache entry whose function fingerprint is in
+        ``fingerprints`` (all context words / precisions of it).
+
+        The session layer calls this for edited, renamed or deleted
+        functions and counts the drops as dependency invalidations; entries
+        of *unchanged* functions stay — content addressing guarantees they
+        can only be hit by structurally identical re-parses."""
+        doomed = frozenset(fingerprints)
+        if not doomed:
+            return 0
+        victims = [k for k in self._cache if k[0] in doomed]
+        for key in victims:
+            del self._cache[key]
+        self.stats.evictions += len(victims)
+        return len(victims)
 
     def cache_info(self) -> Dict[str, float]:
         info = self.stats.as_dict()
@@ -326,7 +476,8 @@ class AnalysisEngine:
                 and all(a is b for a, b in zip(memo.funcs, funcs))
                 and memo.versions == versions):
             return memo
-        index = index_program(program)
+        index = index_program(program, memo=self._func_index)
+        _evict_oldest(self._func_index, _IDENTITY_MEMO_LIMIT)
         memo = _ProgramMemo(
             program=program, funcs=funcs, versions=versions, index=index,
             collective_funcs=collective_call_graph(program, index),
@@ -358,19 +509,34 @@ class AnalysisEngine:
         cfgs: Optional[Dict[str, tuple]] = None,
         interprocedural: bool = True,
         entry_context: Word = EMPTY,
+        plan: Optional[InterproceduralPlan] = None,
     ) -> ProgramAnalysis:
         """Drop-in replacement for :func:`analyze_program` with memoization
-        and optional parallel fan-out.  Same signature, same output."""
+        and optional parallel fan-out.  Same signature, same rendered
+        output.  ``plan`` short-circuits the interprocedural plan
+        computation — the session layer passes the incrementally updated
+        plan it already built for its dependency diff.
+
+        The result is a :class:`LazyProgramAnalysis`: cache lookups and
+        cache-miss analyses happen now (so the store is filled, the stats
+        are final for hit/miss accounting, and analysis errors surface
+        here), but the per-uid remap of reparse hits plus the per-context
+        merge and program-level synthesis are deferred until the result is
+        first inspected.  A reparse hit whose result is never rendered does
+        zero per-uid remap work."""
         initial_words = initial_words or {}
         self.stats.programs += 1
+        self.last = record = AnalyzeRecord()
         memo = self._program_facts(program)
         index, collective_funcs = memo.index, memo.collective_funcs
         func_names = memo.func_names
-        plan = (self._plan_for(memo, program, initial_words, entry_context)
-                if interprocedural else None)
+        if not interprocedural:
+            plan = None
+        elif plan is None:
+            plan = self._plan_for(memo, program, initial_words, entry_context)
 
-        #: (function name, context word) -> artifacts.
-        artifacts: Dict[Tuple[str, Word], FunctionArtifacts] = {}
+        #: (function name, context word) -> artifacts or a deferred remap.
+        artifacts: Dict[Tuple[str, Word], object] = {}
         #: (func, key, word, call_stmts, prebuilt, extra) per cache miss.
         pending: List[tuple] = []
         func_words: Dict[str, Tuple[Word, ...]] = {}
@@ -404,40 +570,81 @@ class AnalysisEngine:
                 )
                 entry = self._cache.get(key)
                 if entry is not None and _version(entry.artifacts.func) == entry.version:
+                    self.stats.hits += 1
                     if entry.artifacts.func is func:
-                        self.stats.hits += 1
+                        record.identity.append(func.name)
                         artifacts[(func.name, word)] = entry.artifacts
-                        continue
-                    remapped = _remap_artifacts(entry, func)
-                    if remapped is not None:
-                        self.stats.hits += 1
-                        self.stats.remaps += 1
-                        artifacts[(func.name, word)] = remapped
-                        continue
+                    else:
+                        # Reparse hit: defer the per-uid remap — the store
+                        # is position-keyed, so nothing needs the new uids
+                        # until the result is rendered.
+                        self.stats.lazy_hits += 1
+                        record.lazy.append(func.name)
+                        artifacts[(func.name, word)] = _PendingRemap(
+                            entry=entry, func=func, word=word,
+                            call_stmts=call_stmts, extra=extra)
+                    continue
                 if entry is not None:
                     # Stale: the cached AST was mutated after analysis.
                     del self._cache[key]
                 self.stats.misses += 1
+                record.missed.append((func.name, word))
                 pending.append((func, key, word, call_stmts, prebuilt, extra))
 
         self._run_pending(pending, func_names, collective_funcs,
                           precision, artifacts)
 
-        merged: Dict[str, FunctionArtifacts] = {}
-        context_info: Dict[str, Tuple[Tuple[Word, ...], Tuple[WordInfo, ...]]] = {}
-        for func in program.funcs:
-            words = func_words[func.name]
-            if plan is not None:
-                chains = {w: plan.contexts.chains.get((func.name, w), ())
-                          for w in words}
-            else:
-                chains = {}
-            parts = [(w, artifacts[(func.name, w)]) for w in words]
-            merged[func.name], ctx_words, infos = _merge_artifacts(parts, chains)
-            context_info[func.name] = (ctx_words, infos)
-        return _assemble(program, index, collective_funcs, merged,
-                         precision, instrument_all, memo.requested,
-                         plan=plan, context_info=context_info)
+        def materialize() -> ProgramAnalysis:
+            merged: Dict[str, FunctionArtifacts] = {}
+            context_info: Dict[str, Tuple[Tuple[Word, ...],
+                                          Tuple[WordInfo, ...]]] = {}
+            for func in program.funcs:
+                words = func_words[func.name]
+                if plan is not None:
+                    chains = {w: plan.contexts.chains.get((func.name, w), ())
+                              for w in words}
+                else:
+                    chains = {}
+                parts = []
+                for w in words:
+                    art = artifacts[(func.name, w)]
+                    if isinstance(art, _PendingRemap):
+                        art = self._materialize(art, func_names,
+                                                collective_funcs, precision)
+                        artifacts[(func.name, w)] = art
+                    parts.append((w, art))
+                merged[func.name], ctx_words, infos = _merge_artifacts(parts,
+                                                                      chains)
+                context_info[func.name] = (ctx_words, infos)
+            return _assemble(program, index, collective_funcs, merged,
+                             precision, instrument_all, memo.requested,
+                             plan=plan, context_info=context_info)
+
+        return LazyProgramAnalysis(materialize)
+
+    def _materialize(self, pending: _PendingRemap, func_names, collective_funcs,
+                     precision: str) -> FunctionArtifacts:
+        """Turn a deferred reparse hit into concrete artifacts: remap the
+        cached per-uid maps onto the new AST (one walk of the new tree), or
+        — if the cached source mutated since the lookup — re-analyze.  The
+        fallback also repairs the store: the stale entry is evicted and the
+        fresh artifacts take its place (anchored on the new AST, whose
+        fingerprint is what the key matched)."""
+        entry = pending.entry
+        if _version(entry.artifacts.func) == entry.version:
+            remapped = _remap_artifacts(entry, pending.func)
+            if remapped is not None:
+                self.stats.remaps += 1
+                return remapped
+        self.stats.remap_fallbacks += 1
+        art = _analyze_function(pending.func, func_names, collective_funcs,
+                                pending.word, precision, pending.call_stmts,
+                                None, pending.extra)
+        if self.cache_enabled and self._cache.get(entry.key) is entry:
+            self._cache[entry.key] = _CacheEntry(
+                artifacts=art, version=_version(art.func), key=entry.key,
+                uid_at_pos=tuple(n.uid for n in art.func.walk()))
+        return art
 
     def _run_pending(self, pending, func_names, collective_funcs,
                      precision, artifacts) -> None:
@@ -470,6 +677,7 @@ class AnalysisEngine:
             else:
                 self.stats.parallel_tasks += len(results)
 
+        uid_seqs: Dict[int, Tuple[int, ...]] = {}
         for func, key, word, call_stmts, prebuilt, extra in pending:
             art = results.get((id(func), word))
             if art is None:
@@ -483,5 +691,10 @@ class AnalysisEngine:
                 art.func = func
             artifacts[(func.name, word)] = art
             if self.cache_enabled and key is not None:
+                seq = uid_seqs.get(id(art.func))
+                if seq is None:
+                    seq = tuple(n.uid for n in art.func.walk())
+                    uid_seqs[id(art.func)] = seq
                 self._cache[key] = _CacheEntry(
-                    artifacts=art, version=_version(art.func), key=key)
+                    artifacts=art, version=_version(art.func), key=key,
+                    uid_at_pos=seq)

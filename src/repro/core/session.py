@@ -1,0 +1,690 @@
+"""Persistent incremental analysis sessions — ``parcoach serve`` / ``watch``.
+
+The batch pipeline is one-shot: parse, analyze, report, exit.  This module
+turns it into a standing service.  An :class:`AnalysisSession` owns one
+:class:`~repro.core.engine.AnalysisEngine` and, per source file, the state
+needed to make a re-analysis after an edit cost work proportional to the
+*edit*, not the program:
+
+* **Chunked incremental re-parse** — the source is split into top-level
+  function chunks (a brace/string/comment scanner).  A chunk whose text and
+  start line are unchanged reuses the previous ``FuncDef`` *object*, so the
+  engine serves it through the identity fast path with zero hashing; only
+  edited chunks are re-parsed (padded to their original line/column so
+  positions match a full parse byte-for-byte).  Any anomaly — unbalanced
+  braces, a chunk that does not parse to exactly one function — falls back
+  to a full parse, which is always correct.
+
+* **Fingerprint diff + dependency invalidation** — per-function structural
+  fingerprints (:func:`~repro.core.engine.ast_fingerprint`) of the new parse
+  are diffed against the previous ones: the *changed* set (edited, renamed
+  or added functions) and the *removed* set drive everything downstream.
+  Changed/removed fingerprints are evicted from the engine's
+  content-addressed store; the transitive reverse-call-graph closure of the
+  changed set (over both the old and new call graphs) is the *dependents*
+  set — callers whose context words or collective summaries may change.
+  Unchanged functions are never re-analyzed: content addressing guarantees
+  their artifacts can only be hit by structurally identical code.
+
+* **Incremental interprocedural plan** — the collective summaries are
+  recomputed only for dirty SCCs and the callers whose callee summaries
+  actually changed (:func:`~repro.core.callgraph.collective_summaries` with
+  ``prev``/``dirty``); call-graph construction and context propagation are
+  cheap and rebuilt; the per-function call index is memoized on the reused
+  ``FuncDef`` objects.
+
+* **Finding deltas** — every update renders the unified Report IR and diffs
+  the finding *fingerprints* against the previous update: the serve stream
+  re-emits only findings that appeared, plus the fingerprints of findings
+  that disappeared.
+
+Edits that keep every function's fingerprint (same-line whitespace, comment
+churn) invalidate nothing: the previous analysis and report are reused
+outright.  Line-shifting edits change the fingerprints of the shifted
+functions (diagnostics are line-addressed) — those re-analyze; the
+in-place, line-count-preserving edit of one function is the designed fast
+path and the shape ``benchmarks/bench_incremental.py`` gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..minilang import ast_nodes as A
+from ..minilang.parser import parse_program
+from ..minilang.semantics import Checker, check_program
+from ..parallelism import EMPTY, Word
+from .callgraph import (
+    FunctionSummary,
+    build_call_graph,
+    collective_summaries,
+    propagate_contexts,
+)
+from .driver import build_plan
+from .engine import AnalysisEngine
+from .report import (
+    REPORT_VERSION,
+    build_report,
+    render_json,
+    report_from_analysis,
+    source_stamp,
+)
+from .sites import index_program
+
+
+class SessionError(Exception):
+    """A source update that cannot be analyzed (parse or semantic errors).
+
+    The session state is untouched: the previous program version stays
+    current and the next good update diffs against it."""
+
+    def __init__(self, path: str, messages: List[str]) -> None:
+        super().__init__(f"{path}: {len(messages)} error(s)")
+        self.path = path
+        self.messages = messages
+
+
+# ---------------------------------------------------------------------------
+# Chunked source splitting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceChunk:
+    """One top-level brace-balanced region of the source (a function)."""
+
+    start_line: int
+    start_col: int
+    text: str
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        digest = hashlib.sha256(self.text.encode("utf-8")).hexdigest()
+        return (digest, self.start_line)
+
+
+#: Characters that can change the scanner state: string/comment starts and
+#: braces.  Everything between two matches is ordinary code.
+_INTERESTING = re.compile(r'["/{}]')
+_NON_WS = re.compile(r"\S")
+
+
+def _string_end(source: str, opening: int) -> int:
+    """Index one past the closing quote of the string starting at
+    ``opening`` — -1 when unterminated (or broken by a newline)."""
+    k = opening + 1
+    while True:
+        quote = source.find('"', k)
+        if quote < 0:
+            return -1
+        newline = source.find("\n", k, quote)
+        if newline >= 0:
+            return -1
+        backslashes = 0
+        b = quote - 1
+        while b >= 0 and source[b] == "\\":
+            backslashes += 1
+            b -= 1
+        if backslashes % 2 == 0:
+            return quote + 1
+        k = quote + 1
+
+
+def split_chunks(source: str) -> Optional[List[SourceChunk]]:
+    """Split ``source`` into top-level function chunks.
+
+    Tracks strings (with escapes), ``//`` and ``/* */`` comments and brace
+    depth; a chunk runs from the first non-trivia character at depth 0 to
+    the brace that closes back to depth 0.  Returns ``None`` on anything
+    unbalanced — the caller falls back to a full parse.  The scanner jumps
+    between interesting characters with C-speed searches, so re-splitting a
+    large file per update costs single-digit milliseconds."""
+    chunks: List[SourceChunk] = []
+    depth = 0
+    start = -1
+    i, n = 0, len(source)
+    # Incremental line bookkeeping for chunk starts (emitted in order).
+    last_pos = 0
+    last_line = 1
+    while i < n:
+        if depth == 0 and start < 0:
+            # Looking for the next chunk start: skip whitespace + comments.
+            match = _NON_WS.search(source, i)
+            if match is None:
+                break
+            j = match.start()
+            two = source[j:j + 2]
+            if two == "//":
+                end = source.find("\n", j)
+                i = n if end < 0 else end + 1
+                continue
+            if two == "/*":
+                end = source.find("*/", j + 2)
+                if end < 0:
+                    return None
+                i = end + 2
+                continue
+            start = j
+            i = j
+        match = _INTERESTING.search(source, i)
+        if match is None:
+            break
+        j = match.start()
+        ch = source[j]
+        if ch == '"':
+            end = _string_end(source, j)
+            if end < 0:
+                return None
+            i = end
+        elif ch == "/":
+            nxt = source[j + 1:j + 2]
+            if nxt == "/":
+                end = source.find("\n", j)
+                i = n if end < 0 else end + 1
+            elif nxt == "*":
+                end = source.find("*/", j + 2)
+                if end < 0:
+                    return None
+                i = end + 2
+            else:
+                i = j + 1
+        elif ch == "{":
+            depth += 1
+            i = j + 1
+        else:  # "}"
+            depth -= 1
+            if depth < 0:
+                return None
+            i = j + 1
+            if depth == 0 and start >= 0:
+                last_line += source.count("\n", last_pos, start)
+                last_pos = start
+                newline = source.rfind("\n", 0, start)
+                chunks.append(SourceChunk(start_line=last_line,
+                                          start_col=start - newline,
+                                          text=source[start:j + 1]))
+                start = -1
+    if depth != 0 or start >= 0:
+        return None
+    return chunks
+
+
+def _parse_chunk(chunk: SourceChunk, filename: str) -> Optional[A.FuncDef]:
+    """Parse one chunk standalone, padded so every node's line/col matches
+    what a full-file parse would assign.  ``None`` when the chunk is not
+    exactly one function (the caller falls back to a full parse)."""
+    padded = ("\n" * (chunk.start_line - 1) + " " * (chunk.start_col - 1)
+              + chunk.text)
+    try:
+        program = parse_program(padded, filename)
+    except Exception:
+        return None
+    if len(program.funcs) != 1:
+        return None
+    return program.funcs[0]
+
+
+# ---------------------------------------------------------------------------
+# Session state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionUpdate:
+    """The delta produced by one :meth:`AnalysisSession.update_source`."""
+
+    path: str
+    #: Monotonic per-file update counter (1 = first analysis).
+    seq: int
+    #: True when the previous analysis was reused outright (identical
+    #: source, or an edit that moved no function fingerprint).
+    no_op: bool
+    #: True when the update could not use chunk-level parse reuse.
+    full_parse: bool
+    #: Function names whose fingerprint moved or appeared.
+    changed: Tuple[str, ...]
+    #: Function names that disappeared.
+    removed: Tuple[str, ...]
+    #: Reverse-call-graph transitive closure of changed ∪ removed (the
+    #: callers that *may* need re-analysis), excluding the seeds.
+    dependents: Tuple[str, ...]
+    #: Functions the engine actually re-analyzed this update.
+    reanalyzed: Tuple[str, ...]
+    #: Cache entries evicted for changed/removed fingerprints.
+    invalidated_entries: int
+    #: Findings that appeared this update (full Report IR finding objects).
+    findings_added: Tuple[dict, ...]
+    #: Fingerprints of findings that disappeared.
+    findings_removed: Tuple[str, ...]
+    #: Total live findings after the update.
+    findings_total: int
+    #: Serve-flavoured Report IR document for this delta.
+    report: dict = field(repr=False, default_factory=dict)
+
+
+@dataclass
+class _FileState:
+    source: str
+    program: A.Program
+    fingerprints: Dict[str, str]
+    #: chunk key -> FuncDef of the current program (None: chunking disabled
+    #: for this file; every update full-parses).
+    chunks: Optional[Dict[Tuple[str, int], A.FuncDef]]
+    #: function -> caller names (reverse call-graph edges, current version).
+    callers: Dict[str, Tuple[str, ...]]
+    summaries: Optional[Dict[str, FunctionSummary]]
+    #: finding fingerprint -> finding (insertion-ordered as reported).
+    findings: Dict[str, dict]
+    #: The full analyze-flavoured Report IR of the current version.
+    report: dict
+    seq: int = 1
+
+
+class AnalysisSession:
+    """A long-lived, incremental front end over one analysis engine.
+
+    ``update_source``/``update`` are the whole API: feed the current text of
+    a file, get back a :class:`SessionUpdate` describing exactly what was
+    re-analyzed and which findings changed.  See the module docstring for
+    the invalidation strategy."""
+
+    def __init__(self, jobs: int = 1, precision: str = "paper",
+                 interprocedural: bool = True,
+                 entry_context: Word = EMPTY) -> None:
+        self.engine = AnalysisEngine(jobs=jobs)
+        self.precision = precision
+        self.interprocedural = interprocedural
+        self.entry_context = entry_context
+        self.updates = 0
+        self.no_op_updates = 0
+        self._files: Dict[str, _FileState] = {}
+        #: id(func) -> func: functions already semantically checked (valid
+        #: while the program's function-name set is unchanged — the checks
+        #: are per-function except for call resolution against that set).
+        self._checked: Dict[int, A.FuncDef] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine.cache_info(),
+            "session": {
+                "files": len(self._files),
+                "updates": self.updates,
+                "no_op_updates": self.no_op_updates,
+            },
+        }
+
+    # -- parsing ---------------------------------------------------------------
+
+    def _full_parse(self, path: str, source: str) -> A.Program:
+        try:
+            program = parse_program(source, path)
+        except Exception as exc:
+            raise SessionError(path, [str(exc)]) from exc
+        self._check(path, program, prev=None)
+        return program
+
+    @staticmethod
+    def _signatures(program: A.Program) -> Dict[str, tuple]:
+        return {f.name: (f.ret_type, len(f.params)) for f in program.funcs}
+
+    def _check(self, path: str, program: A.Program,
+               prev: Optional[_FileState]) -> None:
+        """Semantic checks, incremental where sound: a reused ``FuncDef``
+        was already checked, and per-function checks depend on the other
+        functions only through their *signatures* (name, return type,
+        arity — call resolution and arity checks) — so while the signature
+        map is unchanged, only re-parsed functions are re-checked.  Any
+        signature change (rename, add/remove, arity or return-type edit)
+        re-checks the whole program: callers of the edited function may be
+        unchanged text yet newly wrong."""
+        prev_sigs = (self._signatures(prev.program)
+                     if prev is not None else None)
+        sigs = self._signatures(program)
+        unchecked = [f for f in program.funcs
+                     if self._checked.get(id(f)) is not f]
+        if (prev_sigs == sigs and len(sigs) == len(program.funcs)):
+            checker = Checker(program)
+            for func in unchecked:
+                checker._check_func(func)
+            issues = checker.issues
+        else:
+            issues = check_program(program)
+            unchecked = list(program.funcs)
+        errors = [str(i) for i in issues if i.severity == "error"]
+        if errors:
+            raise SessionError(path, errors)
+        for func in unchecked:
+            self._checked[id(func)] = func
+        while len(self._checked) > 65536:
+            self._checked.pop(next(iter(self._checked)))
+
+    def _parse_incremental(
+        self, path: str, source: str, prev: Optional[_FileState]
+    ) -> Tuple[A.Program, Optional[Dict[Tuple[str, int], A.FuncDef]], bool]:
+        """Parse ``source``, reusing the previous version's ``FuncDef``
+        objects for unchanged chunks.  Returns (program, chunk map or None,
+        full_parse flag)."""
+        chunks = split_chunks(source)
+        if chunks is None:
+            return self._full_parse(path, source), None, True
+        reused_any = False
+        funcs: List[A.FuncDef] = []
+        chunk_map: Dict[Tuple[str, int], A.FuncDef] = {}
+        prev_chunks = prev.chunks if prev is not None else None
+        for chunk in chunks:
+            key = chunk.key
+            func = prev_chunks.get(key) if prev_chunks else None
+            if func is not None:
+                reused_any = True
+            else:
+                func = _parse_chunk(chunk, path)
+                if func is None:
+                    # Oddly shaped chunk: full parse decides (and reports
+                    # real errors with real positions).
+                    program = self._full_parse(path, source)
+                    return program, None, True
+            funcs.append(func)
+            chunk_map[key] = func
+        program = A.Program(funcs=funcs, filename=path,
+                            line=funcs[0].line if funcs else 1)
+        self._check(path, program, prev)
+        return program, chunk_map, not reused_any and prev is not None
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, path: str) -> SessionUpdate:
+        """Re-read ``path`` from disk and fold it into the session."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise SessionError(path, [str(exc)]) from exc
+        return self.update_source(path, source)
+
+    def _no_op_update(self, path: str, prev: _FileState,
+                      source: str, full_parse: bool) -> SessionUpdate:
+        prev.source = source
+        prev.seq += 1
+        self.no_op_updates += 1
+        delta = SessionUpdate(
+            path=path, seq=prev.seq, no_op=True, full_parse=full_parse,
+            changed=(), removed=(), dependents=(), reanalyzed=(),
+            invalidated_entries=0, findings_added=(), findings_removed=(),
+            findings_total=len(prev.findings),
+        )
+        delta.report = self._delta_report(path, source, delta, prev)
+        return delta
+
+    def update_source(self, path: str, source: str) -> SessionUpdate:
+        """Fold the current text of ``path`` into the session and return
+        what changed.  Raises :class:`SessionError` (state untouched) when
+        the text does not parse or check."""
+        self.updates += 1
+        prev = self._files.get(path)
+        if prev is not None and prev.source == source:
+            return self._no_op_update(path, prev, source, full_parse=False)
+
+        program, chunk_map, full_parse = self._parse_incremental(path, source,
+                                                                 prev)
+        # Unchanged chunks reuse the previous FuncDef objects, so the
+        # engine's id-keyed identity memo skips re-hashing them.
+        fingerprints = {f.name: self.engine._fingerprint_for(f)
+                        for f in program.funcs}
+        prev_fps = prev.fingerprints if prev is not None else {}
+        changed = tuple(n for n in fingerprints
+                        if fingerprints[n] != prev_fps.get(n))
+        removed = tuple(n for n in prev_fps if n not in fingerprints)
+
+        if prev is not None and not changed and not removed:
+            # Same structure on every function (whitespace / comment edit):
+            # nothing to invalidate, the previous analysis stands.  Keep the
+            # OLD program object — its artifacts are the cached ones.
+            prev.chunks = (
+                {k: prev.program.func(v.name)
+                 for k, v in chunk_map.items()} if chunk_map is not None
+                else None)
+            return self._no_op_update(path, prev, source, full_parse)
+
+        # Dependency closure over reverse call edges — both versions' edges,
+        # so callers of deleted functions and new callers both count.
+        dirty: Set[str] = set(changed) | set(removed)
+        index = index_program(program, memo=self.engine._func_index)
+        graph = build_call_graph(program, index)
+        callers: Dict[str, Tuple[str, ...]] = {
+            name: tuple(e.caller for e in graph.callers[name])
+            for name in graph.order
+        }
+        merged_callers: Dict[str, Set[str]] = {}
+        for source_map in (prev.callers if prev is not None else {}, callers):
+            for name, who in source_map.items():
+                merged_callers.setdefault(name, set()).update(who)
+        dependents: List[str] = []
+        work = list(dirty)
+        seen = set(dirty)
+        while work:
+            name = work.pop()
+            for caller in sorted(merged_callers.get(name, ())):
+                if caller not in seen:
+                    seen.add(caller)
+                    dependents.append(caller)
+                    work.append(caller)
+        dependents_t = tuple(d for d in dependents if d in fingerprints)
+
+        # Evict the edited functions' artifacts from the store.
+        doomed = {prev_fps[n] for n in dirty if n in prev_fps}
+        invalidated = self.engine.invalidate_fingerprints(doomed)
+
+        plan = None
+        initial_words: Dict[str, Word] = {}
+        if self.interprocedural:
+            contexts = propagate_contexts(program, graph,
+                                          entry_context=self.entry_context)
+            summaries = collective_summaries(
+                program, graph, index,
+                prev=prev.summaries if prev is not None else None,
+                dirty=set(changed))
+            plan = build_plan(program, index,
+                              entry_context=self.entry_context,
+                              graph=graph, contexts=contexts,
+                              summaries=summaries)
+        else:
+            summaries = None
+            if self.entry_context:
+                # Mirror the CLI's --no-interprocedural semantics: the
+                # initial context applies to every function directly.
+                initial_words = {f.name: self.entry_context
+                                 for f in program.funcs}
+
+        analysis = self.engine.analyze(
+            program, initial_words=initial_words, precision=self.precision,
+            interprocedural=self.interprocedural,
+            entry_context=self.entry_context, plan=plan)
+        record = self.engine.last
+        reanalyzed = record.missed_functions
+        dep_reanalyzed = [n for n in reanalyzed if n not in dirty]
+        self.engine.stats.dependency_invalidations += len(dep_reanalyzed)
+
+        report = report_from_analysis(analysis, source_path=path,
+                                      source_text=source)
+        new_findings = {f["fingerprint"]: f for f in report["findings"]}
+        old_findings = prev.findings if prev is not None else {}
+        added = tuple(f for fp, f in new_findings.items()
+                      if fp not in old_findings)
+        gone = tuple(fp for fp in old_findings if fp not in new_findings)
+
+        seq = prev.seq + 1 if prev is not None else 1
+        self._files[path] = _FileState(
+            source=source, program=program, fingerprints=fingerprints,
+            chunks=chunk_map, callers=callers, summaries=summaries,
+            findings=new_findings, report=report, seq=seq,
+        )
+        delta = SessionUpdate(
+            path=path, seq=seq, no_op=False, full_parse=full_parse,
+            changed=changed, removed=removed, dependents=dependents_t,
+            reanalyzed=reanalyzed, invalidated_entries=invalidated,
+            findings_added=added, findings_removed=gone,
+            findings_total=len(new_findings),
+        )
+        delta.report = self._delta_report(path, source, delta,
+                                          self._files[path])
+        return delta
+
+    def report_for(self, path: str) -> Optional[dict]:
+        """The full analyze-flavoured Report IR of a file's current
+        version (None when the file was never analyzed)."""
+        state = self._files.get(path)
+        return state.report if state is not None else None
+
+    def _delta_report(self, path: str, source: str, delta: SessionUpdate,
+                      state: _FileState) -> dict:
+        """The serve-flavoured Report IR: only the findings that appeared,
+        plus the incremental bookkeeping every consumer of the stream needs
+        to reconstruct the full picture."""
+        return build_report(
+            "serve",
+            source=source_stamp(path, source),
+            findings=list(delta.findings_added),
+            verdict="findings" if delta.findings_total else "clean",
+            summary={
+                "update": delta.seq,
+                "incremental": {
+                    "no_op": delta.no_op,
+                    "full_parse": delta.full_parse,
+                    "changed": list(delta.changed),
+                    "removed": list(delta.removed),
+                    "dependents": list(delta.dependents),
+                    "reanalyzed": list(delta.reanalyzed),
+                    "invalidated_entries": delta.invalidated_entries,
+                    "findings_added": len(delta.findings_added),
+                    "findings_removed": list(delta.findings_removed),
+                    "findings_total": delta.findings_total,
+                },
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# serve / watch front ends
+# ---------------------------------------------------------------------------
+
+
+def _error_report(path: Optional[str], messages: List[str],
+                  tool: str = "serve") -> dict:
+    return build_report(tool, source=source_stamp(path, None), findings=[],
+                        verdict="error",
+                        summary={"errors": list(messages)})
+
+
+def run_serve(session: AnalysisSession, stdin=None, stdout=None) -> int:
+    """The ``parcoach serve`` loop: a line protocol on stdin, one Report IR
+    JSON document per line on stdout.
+
+    Commands::
+
+        analyze PATH   (re)analyze PATH incrementally, emit the delta report
+        stats          emit engine + session counters
+        quit           exit 0 (EOF does the same)
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def emit(doc: dict) -> None:
+        stdout.write(render_json(doc))
+        stdout.flush()
+
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        command = parts[0]
+        if command == "quit":
+            break
+        if command == "stats":
+            emit(build_report("serve", source=None, findings=[],
+                              verdict="clean",
+                              summary={"stats": session.stats()}))
+            continue
+        if command == "analyze":
+            if len(parts) != 2:
+                emit(_error_report(None, ["usage: analyze PATH"]))
+                continue
+            path = parts[1]
+            try:
+                delta = session.update(path)
+            except SessionError as exc:
+                emit(_error_report(exc.path, exc.messages))
+                continue
+            emit(delta.report)
+            continue
+        emit(_error_report(None, [f"unknown command {command!r} "
+                                  f"(expected analyze/stats/quit)"]))
+    return 0
+
+
+def run_watch(session: AnalysisSession, path: str, interval: float = 0.5,
+              max_updates: int = 0, stdout=None,
+              clock=time.monotonic, sleep=time.sleep) -> int:
+    """The ``parcoach watch`` loop: analyze ``path`` now, then poll it and
+    re-emit a delta report whenever its content changes.  ``max_updates``
+    bounds the number of emitted updates (0 = until interrupted)."""
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def emit(doc: dict) -> None:
+        stdout.write(render_json(doc))
+        stdout.flush()
+
+    emitted = 0
+    last_reported_error: Optional[str] = None
+    while True:
+        try:
+            delta = session.update(path)
+        except SessionError as exc:
+            message = "\n".join(exc.messages)
+            if message != last_reported_error:
+                emit(_error_report(exc.path, exc.messages, tool="watch"))
+                emitted += 1
+                last_reported_error = message
+        else:
+            last_reported_error = None
+            if delta.seq == 1 or not delta.no_op:
+                report = dict(delta.report)
+                report["tool"] = "watch"
+                emit(report)
+                emitted += 1
+        if max_updates and emitted >= max_updates:
+            return 0
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+# Re-exported for the CLI and tests.
+__all__ = [
+    "AnalysisSession",
+    "SessionError",
+    "SessionUpdate",
+    "SourceChunk",
+    "run_serve",
+    "run_watch",
+    "split_chunks",
+    "REPORT_VERSION",
+]

@@ -51,37 +51,71 @@ class ProgramIndex:
     expr_calls: Dict[str, List[ExprCallSite]] = field(default_factory=dict)
 
 
-def index_program(program: A.Program) -> ProgramIndex:
+#: One per-function index memo entry: (func ref, calls, call_stmts,
+#: expr_calls).  The func reference guards against id() reuse after GC.
+_IndexEntry = Tuple[A.FuncDef, List[A.Call], List[A.ExprStmt],
+                    List[ExprCallSite]]
+
+
+def index_function(func: A.FuncDef) -> Tuple[List[A.Call], List[A.ExprStmt],
+                                             List[ExprCallSite]]:
+    """Index one function: every call node, the statement-level calls, and
+    the expression-embedded calls with their anchor chains.  Pure per
+    function — the results only depend on the function's own AST, which is
+    what makes the per-function memo of :func:`index_program` sound."""
+    calls: List[A.Call] = []
+    stmts: List[A.ExprStmt] = []
+    expr_calls: List[ExprCallSite] = []
+    # Pre-order walk mirroring Node.walk(), tracking the enclosing
+    # statement chain (innermost first) and the statement positions.
+    stack: List[Tuple[A.Node, Tuple[A.Stmt, ...]]] = [(func, ())]
+    pos = 0
+    stmt_pos: Dict[int, int] = {}
+    while stack:
+        node, enclosing = stack.pop()
+        if isinstance(node, A.Stmt):
+            stmt_pos[node.uid] = pos
+            enclosing = (node,) + enclosing
+        pos += 1
+        if isinstance(node, A.Call):
+            calls.append(node)
+            stmt = enclosing[0] if enclosing else None
+            if isinstance(stmt, A.ExprStmt) and stmt.expr is node:
+                stmts.append(stmt)
+            elif stmt is not None:
+                expr_calls.append(ExprCallSite(
+                    call=node,
+                    stmt_uids=tuple(s.uid for s in enclosing),
+                    stmt_pos=stmt_pos[stmt.uid],
+                    line=node.line or stmt.line,
+                ))
+        stack.extend((child, enclosing)
+                     for child in reversed(node.children()))
+    return calls, stmts, expr_calls
+
+
+def index_program(program: A.Program,
+                  memo: Optional[Dict[int, _IndexEntry]] = None
+                  ) -> ProgramIndex:
+    """Index every function of ``program``.
+
+    ``memo`` (``id(func)`` → entry) makes re-indexing incremental: a
+    function object already indexed — the session layer reuses unchanged
+    ``FuncDef`` objects across re-parses — costs a dict lookup instead of a
+    tree walk.  Callers owning a memo are responsible for bounding it."""
     index = ProgramIndex()
     for func in program.funcs:
-        calls: List[A.Call] = []
-        stmts: List[A.ExprStmt] = []
-        expr_calls: List[ExprCallSite] = []
-        # Pre-order walk mirroring Node.walk(), tracking the enclosing
-        # statement chain (innermost first) and the statement positions.
-        stack: List[Tuple[A.Node, Tuple[A.Stmt, ...]]] = [(func, ())]
-        pos = 0
-        stmt_pos: Dict[int, int] = {}
-        while stack:
-            node, enclosing = stack.pop()
-            if isinstance(node, A.Stmt):
-                stmt_pos[node.uid] = pos
-                enclosing = (node,) + enclosing
-            pos += 1
-            if isinstance(node, A.Call):
-                calls.append(node)
-                stmt = enclosing[0] if enclosing else None
-                if isinstance(stmt, A.ExprStmt) and stmt.expr is node:
-                    stmts.append(stmt)
-                elif stmt is not None:
-                    expr_calls.append(ExprCallSite(
-                        call=node,
-                        stmt_uids=tuple(s.uid for s in enclosing),
-                        stmt_pos=stmt_pos[stmt.uid],
-                        line=node.line or stmt.line,
-                    ))
-            stack.extend((child, enclosing)
-                         for child in reversed(node.children()))
+        if memo is not None:
+            entry = memo.get(id(func))
+            if entry is not None and entry[0] is func:
+                _f, calls, stmts, expr_calls = entry
+                index.calls[func.name] = calls
+                index.call_stmts[func.name] = stmts
+                index.expr_calls[func.name] = expr_calls
+                continue
+        calls, stmts, expr_calls = index_function(func)
+        if memo is not None:
+            memo[id(func)] = (func, calls, stmts, expr_calls)
         index.calls[func.name] = calls
         index.call_stmts[func.name] = stmts
         index.expr_calls[func.name] = expr_calls

@@ -33,7 +33,11 @@ class Node:
     """Base class for all AST nodes."""
 
     line: int = field(default=0, kw_only=True)
-    col: int = field(default=0, kw_only=True)
+    #: Excluded from ``repr`` (like ``uid``) so the structural fingerprints
+    #: of :mod:`repro.core.engine` are column-insensitive: no diagnostic or
+    #: artifact ever reports a column, so a same-line whitespace edit must
+    #: not invalidate cached analyses or session state.
+    col: int = field(default=0, kw_only=True, repr=False)
     uid: int = field(default_factory=lambda: next(_node_counter), kw_only=True, repr=False)
 
     def children(self) -> List["Node"]:

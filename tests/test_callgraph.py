@@ -391,6 +391,142 @@ void main() {
     assert summaries["regions"].classify("MPI_Allreduce") == CONDITIONAL
 
 
+# -- CFG post-dominance must side ---------------------------------------------------
+
+
+def test_must_survives_early_return():
+    """The ROADMAP open item: a collective executed on every path is
+    ``always`` even when one path leaves through an early ``return`` — the
+    set of barrier blocks collectively post-dominates the entry, which the
+    structural accumulate-until-exit rule cannot see."""
+    program, graph = _graph("""
+int sync_or_bail(int v) {
+    if (v > 100) {
+        MPI_Barrier();
+        return 100;
+    }
+    MPI_Barrier();
+    return v;
+}
+
+void main() {
+    int x = 1;
+    x = sync_or_bail(x);
+}
+""")
+    summaries = collective_summaries(program, graph)
+    assert summaries["sync_or_bail"].classify("MPI_Barrier") == ALWAYS
+    # ... and the upgrade propagates to the caller through the fixpoint.
+    assert summaries["main"].classify("MPI_Barrier") == ALWAYS
+
+
+def test_must_gallery_case_classifies_always():
+    """The seeded gallery case is the living proof of the post-dominance
+    formulation: statically flagged (paper's branch-duplication class),
+    dynamically clean, and summarized MPI_Barrier [always]."""
+    from repro.bench.errors_gallery import CASES
+
+    case = CASES["early_return_always_barrier"]
+    program = parse_program(case.source, case.name)
+    summaries = collective_summaries(program)
+    assert summaries["sync_or_bail"].classify("MPI_Barrier") == ALWAYS
+
+
+def test_must_branch_duplicated_collective_is_always():
+    program, graph = _graph("""
+void diamond(int r) {
+    if (r == 0) {
+        MPI_Barrier();
+    }
+    else {
+        MPI_Barrier();
+    }
+    if (r == 1) {
+        return;
+    }
+    r = r + 1;
+}
+
+void main() {
+    diamond(0);
+}
+""")
+    summaries = collective_summaries(program, graph)
+    assert summaries["diamond"].classify("MPI_Barrier") == ALWAYS
+
+
+def test_must_cfg_view_stays_sound_on_skippable_paths():
+    """Shapes where some entry→exit path genuinely avoids the collective
+    must stay conditional under the CFG view too."""
+    program, graph = _graph("""
+void loop_only(int n) {
+    while (n > 0) {
+        MPI_Barrier();
+        n = n - 1;
+    }
+}
+
+int bail_before(int n) {
+    if (n == 0) {
+        return 0;
+    }
+    MPI_Barrier();
+    return n;
+}
+
+void dead_code(int n) {
+    return;
+    MPI_Barrier();
+}
+
+void main() {
+    loop_only(2);
+    int x = bail_before(1);
+    dead_code(0);
+}
+""")
+    summaries = collective_summaries(program, graph)
+    assert summaries["loop_only"].classify("MPI_Barrier") == CONDITIONAL
+    assert summaries["bail_before"].classify("MPI_Barrier") == CONDITIONAL
+    # An unreachable collective contributes no must event (its block is
+    # pruned from the CFG) — it stays in the exact may set only.
+    assert summaries["dead_code"].classify("MPI_Barrier") == CONDITIONAL
+
+
+def test_must_through_always_callee_on_every_path():
+    """Blocks calling an ALWAYS-callee count as event blocks for the cut:
+    a caller reaching the collective only through helpers on both branches
+    is still ``always``."""
+    program, graph = _graph("""
+int left(int v) {
+    MPI_Barrier();
+    return v;
+}
+
+int right(int v) {
+    MPI_Barrier();
+    return v + 1;
+}
+
+void caller(int r) {
+    int x = 0;
+    if (r == 0) {
+        x = left(x);
+        return;
+    }
+    x = right(x);
+}
+
+void main() {
+    caller(0);
+}
+""")
+    summaries = collective_summaries(program, graph)
+    assert summaries["left"].classify("MPI_Barrier") == ALWAYS
+    assert summaries["right"].classify("MPI_Barrier") == ALWAYS
+    assert summaries["caller"].classify("MPI_Barrier") == ALWAYS
+
+
 # -- DOT export ---------------------------------------------------------------------
 
 

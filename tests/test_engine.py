@@ -52,12 +52,17 @@ def test_reparse_hit_remaps_onto_new_ast():
     p2 = parse_program(src, "x.mc")
     a1 = engine.analyze(p1)
     a2 = engine.analyze(p2)
-    assert engine.stats.remaps == 1
+    # The reparse hit is served lazily: no per-uid remap work happens until
+    # the result is actually consumed (here: instrumented below).
+    assert engine.stats.lazy_hits == 1
+    assert engine.stats.remaps == 0
     # Same instrumented source from both (uids remapped onto p2's nodes).
     assert pretty(instrument_program(a1)[0]) == pretty(instrument_program(a2)[0])
     ref = pretty(instrument_program(analyze_program(p2))[0])
     assert pretty(instrument_program(a2)[0]) == ref
-    # The remapped FunctionAnalysis is anchored on p2, not p1.
+    # The remapped FunctionAnalysis is anchored on p2, not p1 — and the
+    # remap was materialized exactly once, by the consumption above.
+    assert engine.stats.remaps == 1
     assert a2.function("main").func is p2.funcs[0]
     assert a2.function("main").sites[0].stmt in list(p2.funcs[0].walk())
 
@@ -217,3 +222,97 @@ def test_cached_engine_skips_pool_when_everything_hits():
         engine.analyze(p)  # identity fast path: zero new pool tasks
         assert engine.stats.misses == misses
         assert engine.stats.parallel_tasks == misses
+
+
+# -- lazy remap (fingerprint-native incremental analysis) ---------------------------
+
+
+def test_reparse_hit_with_rendering_disabled_does_zero_remap_work():
+    """The acceptance gate of the fingerprint-native store: an analyze that
+    is served entirely by reparse hits and whose result is never inspected
+    must do no per-uid remap work at all."""
+    src = scale_suite()["S"]
+    engine = AnalysisEngine()
+    engine.analyze(parse_program(src, "s.mc")).force()  # fill + render once
+    p2 = parse_program(src, "s.mc")
+    lazy = engine.analyze(p2)  # rendering disabled: result untouched
+    assert engine.stats.lazy_hits == len(p2.funcs)
+    assert engine.stats.remaps == 0
+    assert engine.stats.remap_fallbacks == 0
+    assert not lazy.materialized
+    # First touch materializes — exactly once per function.
+    assert lazy.function("main") is not None
+    assert lazy.materialized
+    assert engine.stats.remaps == len(p2.funcs)
+
+
+def test_lazy_result_equals_eager_result():
+    src = CASES["rank_dependent_bcast"].source
+    engine = AnalysisEngine()
+    eager = engine.analyze(parse_program(src, "x.mc"))
+    lazy = engine.analyze(parse_program(src, "x.mc"))
+    assert render_report(eager, verbose=True) == \
+        render_report(lazy, verbose=True)
+    assert _diag_tuples(eager) == _diag_tuples(lazy)
+
+
+def test_lazy_remap_falls_back_when_cache_source_mutated():
+    """A deferred remap whose cached AST was mutated (in-place
+    instrumentation) after the lookup must re-analyze, not serve garbage."""
+    src = CASES["rank_dependent_bcast"].source
+    engine = AnalysisEngine()
+    p1 = parse_program(src, "x.mc")
+    a1 = engine.analyze(p1)
+    p2 = parse_program(src, "x.mc")
+    lazy = engine.analyze(p2)  # deferred remap onto p1's cached artifacts
+    instrument_program(a1, in_place=True)  # mutates p1 under the cache
+    fresh = analyze_program(parse_program(src, "x.mc"))
+    assert render_report(lazy) == render_report(fresh)
+    assert engine.stats.remap_fallbacks >= 1
+
+
+def test_invalidate_fingerprints_evicts_only_matching_entries():
+    from repro.core.engine import ast_fingerprint
+
+    src = scale_suite()["S"]
+    engine = AnalysisEngine()
+    p = parse_program(src, "s.mc")
+    engine.analyze(p)
+    entries = engine.cache_info()["entries"]
+    target = ast_fingerprint(p.funcs[0])
+    dropped = engine.invalidate_fingerprints({target})
+    assert dropped >= 1
+    assert engine.cache_info()["entries"] == entries - dropped
+    assert engine.stats.evictions == dropped
+    assert engine.invalidate_fingerprints(set()) == 0
+    # Only the evicted function misses on the next analyze.
+    misses = engine.stats.misses
+    engine.analyze(p).force()
+    assert engine.stats.misses == misses + dropped
+
+
+def test_fingerprint_ignores_columns_but_not_lines():
+    from repro.core.engine import ast_fingerprint
+
+    base = "void main() {\n    int x = 1;\n}\n"
+    spaced = "void main() {\n    int  x  =  1;\n}\n"
+    shifted = "void main() {\n\n    int x = 1;\n}\n"
+    fp = lambda s: ast_fingerprint(parse_program(s, "p.mc").funcs[0])
+    assert fp(base) == fp(spaced)
+    assert fp(base) != fp(shifted)
+
+
+def test_stats_json_round_trip():
+    import json
+
+    from repro.core.engine import EngineStats
+
+    src = scale_suite()["S"]
+    engine = AnalysisEngine()
+    engine.analyze(parse_program(src, "s.mc")).force()
+    engine.analyze(parse_program(src, "s.mc")).force()
+    stats = engine.stats
+    assert stats.lazy_hits > 0
+    data = json.loads(json.dumps(stats.as_dict()))
+    assert EngineStats.from_dict(data) == stats
+    assert data["deferred_remaps"] == stats.deferred_remaps

@@ -1,0 +1,194 @@
+"""Unified Report IR: schema shape, finding-fingerprint stability,
+byte-identity across re-parses, and the CLI ``--json`` surfaces."""
+
+import json
+
+import pytest
+
+from repro.bench.errors_gallery import CASES
+from repro.cli import main
+from repro.core import analyze_program
+from repro.core.report import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    canonical_region_ids,
+    finding_fingerprint,
+    render_json,
+    report_from_analysis,
+    validate_report,
+)
+from repro.minilang.parser import parse_program
+
+
+MISMATCH = CASES["rank_dependent_bcast"].source
+PARALLEL = CASES["interproc_helper_in_parallel"].source
+
+
+def _report(src: str, name: str = "p.mc") -> dict:
+    analysis = analyze_program(parse_program(src, name))
+    return report_from_analysis(analysis, source_path=name, source_text=src)
+
+
+# -- canonicalization ---------------------------------------------------------------
+
+
+def test_canonical_region_ids_first_occurrence_order():
+    assert canonical_region_ids("P17 B S42") == "P1 B S2"
+    assert canonical_region_ids("words P93 / P93") == "words P1 / P1"
+    assert canonical_region_ids("P-1 S-2") == "P1 S2"
+    assert canonical_region_ids("no ids here") == "no ids here"
+
+
+def test_report_byte_identical_across_reparses_in_one_process():
+    """Two parses in the same process assign different uids; the IR must
+    not leak them (region ids are the one place they could surface)."""
+    first = render_json(_report(PARALLEL))
+    second = render_json(_report(PARALLEL))
+    assert first == second
+    # ... and the report really does carry context words.
+    doc = json.loads(first)
+    assert any("P1" in c for fn in doc["summary"]["functions"].values()
+               for c in fn["contexts"])
+
+
+def test_finding_fingerprints_stable_across_reparses():
+    fps1 = [f["fingerprint"] for f in _report(MISMATCH)["findings"]]
+    fps2 = [f["fingerprint"] for f in _report(MISMATCH)["findings"]]
+    assert fps1 and fps1 == fps2
+
+
+def test_finding_fingerprint_tracks_content():
+    report = _report(MISMATCH)
+    moved = _report("\n" + MISMATCH)  # every line shifts by one
+    assert [f["fingerprint"] for f in report["findings"]] != \
+        [f["fingerprint"] for f in moved["findings"]]
+
+
+def test_fingerprint_ignores_field_order():
+    payload = {"kind": "static-diagnostic", "code": "x", "b": 1, "a": 2}
+    reordered = {"a": 2, "b": 1, "code": "x", "kind": "static-diagnostic"}
+    assert finding_fingerprint(payload) == finding_fingerprint(reordered)
+
+
+# -- schema validation --------------------------------------------------------------
+
+
+def test_analyze_report_validates():
+    report = _report(MISMATCH)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["version"] == REPORT_VERSION
+    assert report["verdict"] == "findings"
+    assert validate_report(report) == []
+
+
+def test_clean_report_validates():
+    report = _report(CASES["clean_masteronly"].source)
+    assert report["verdict"] == "clean"
+    assert report["findings"] == []
+    assert validate_report(report) == []
+
+
+def test_validator_rejects_tampering():
+    report = _report(MISMATCH)
+    good = json.loads(render_json(report))
+    bad_version = dict(good, version=99)
+    assert any("version" in p for p in validate_report(bad_version))
+    bad_verdict = dict(good, verdict="clean")
+    assert any("clean" in p for p in validate_report(bad_verdict))
+    tampered = json.loads(render_json(report))
+    tampered["findings"][0]["message"] = "edited after the fact"
+    assert any("does not recompute" in p for p in validate_report(tampered))
+    missing = json.loads(render_json(report))
+    del missing["findings"][0]["function"]
+    assert any("missing fields" in p for p in validate_report(missing))
+
+
+def test_validator_rejects_non_reports():
+    assert validate_report([]) == ["report is not a JSON object"]
+    assert any("schema" in p for p in validate_report({}))
+
+
+# -- CLI --json ---------------------------------------------------------------------
+
+
+def _run_json(capsys, *argv) -> tuple:
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, json.loads(out)
+
+
+def test_cli_analyze_json(tmp_path, capsys):
+    path = tmp_path / "p.mc"
+    path.write_text(MISMATCH)
+    code, doc = _run_json(capsys, "analyze", str(path), "--json")
+    assert code == 1  # exit contract unchanged by --json
+    assert doc["tool"] == "analyze"
+    assert validate_report(doc) == []
+    assert doc["source"]["file"] == str(path)
+    assert len(doc["source"]["sha256"]) == 64
+
+
+def test_cli_callgraph_json(tmp_path, capsys):
+    path = tmp_path / "p.mc"
+    path.write_text(PARALLEL)
+    code, doc = _run_json(capsys, "callgraph", str(path), "--json")
+    assert code == 0
+    assert validate_report(doc) == []
+    assert doc["summary"]["functions"]["bump"]["collectives"] == {
+        "MPI_Barrier": "always"}
+    assert doc["summary"]["functions"]["bump"]["contexts"] == ["P1"]
+
+
+def test_cli_explore_json(tmp_path, capsys):
+    path = tmp_path / "p.mc"
+    path.write_text(MISMATCH)
+    code, doc = _run_json(capsys, "explore", str(path), "--runs", "4",
+                          "--json")
+    assert code == 1
+    assert validate_report(doc) == []
+    assert doc["summary"]["failed"] > 0
+    assert doc["findings"][0]["kind"] == "schedule-failure"
+
+
+def test_cli_fuzz_json(capsys):
+    code, doc = _run_json(capsys, "fuzz", "--seeds", "2", "--seed", "0",
+                          "--json")
+    assert code == 0
+    assert validate_report(doc) == []
+    assert doc["summary"]["seeds"] == 2
+    assert sum(doc["summary"]["counts"].values()) == 2
+
+
+def test_cli_json_byte_identical_across_invocations(tmp_path, capsys):
+    path = tmp_path / "p.mc"
+    path.write_text(PARALLEL)
+    main(["analyze", str(path), "--json"])
+    first = capsys.readouterr().out
+    main(["analyze", str(path), "--json"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_cli_validate_report_subcommand(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(render_json(_report(MISMATCH)))
+    assert main(["validate-report", str(good)]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "bad.json"
+    doc = _report(MISMATCH)
+    doc["findings"][0]["message"] = "tampered"
+    bad.write_text(render_json(doc))
+    assert main(["validate-report", str(bad)]) == 2
+
+
+def test_human_output_unchanged_by_json_flag_existence(tmp_path, capsys):
+    """The plain-text report must be exactly what it always was."""
+    path = tmp_path / "p.mc"
+    path.write_text(MISMATCH)
+    from repro.core import render_report
+
+    main(["analyze", str(path)])
+    out = capsys.readouterr().out
+    expected = render_report(analyze_program(parse_program(MISMATCH,
+                                                           str(path))))
+    assert out == expected
