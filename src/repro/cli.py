@@ -42,6 +42,7 @@ Subcommands::
         are cross-producted.  Exit 1 when any schedule fails.
     parcoach fuzz [--seeds N] [--seed S] [--budget SECS] [--jobs N]
                   [--shrink] [--corpus DIR] [--explore-runs N] [-v]
+                  [--seed-timeout SECS] [--checkpoint PATH] [--resume]
         differential fuzzing: generate N seeded random minilang programs
         and cross-check every verdict source (intra- + interprocedural
         static analysis vs. deterministic raw / instrumented / explored
@@ -53,13 +54,17 @@ Subcommands::
         ``.mini``/``.json`` pair is persisted for regression replay.
         Every finding reproduces alone via ``fuzz --seeds 1 --seed S``.
     parcoach serve [--jobs N] [--precision P] [--no-interprocedural]
-                   [--initial-context W]
+                   [--initial-context W] [--deadline-ms MS]
         persistent incremental analysis session: a line protocol on stdin
-        (``analyze PATH`` / ``stats`` / ``quit``), one Report IR JSON
+        (``analyze PATH`` / ``stats`` / ``ping`` / ``quit``, optionally
+        prefixed ``@ID`` to echo a request id), one Report IR JSON
         document per line on stdout.  Edits are diffed by per-function
         structural fingerprint; only changed functions (plus their
         call-graph dependents whose summaries/contexts moved) re-analyze,
-        and only changed findings are re-emitted.
+        and only changed findings are re-emitted.  The loop is
+        crash-isolated and self-healing (``docs/resilience.md``);
+        ``--deadline-ms`` arms a per-request budget with graceful
+        degradation on expiry.
     parcoach watch FILE [--interval SECS] [--max-updates N]
         analyze FILE now, then poll it and re-emit a delta report on every
         content change
@@ -222,6 +227,10 @@ def _cmd_batch(args) -> int:
             print(f"engine: {info['evictions']} evictions, "
                   f"{info['dependency_invalidations']} invalidated by "
                   f"dependency, {info['remap_fallbacks']} remap fallbacks",
+                  file=sys.stderr)
+            print(f"engine: {info['pool_failures']} pool failures, "
+                  f"{info['pool_respawns']} pool respawns, "
+                  f"{info['degraded_serial']} degraded to serial",
                   file=sys.stderr)
     return 1 if any_warnings else 0
 
@@ -390,7 +399,9 @@ def _cmd_fuzz(args) -> int:
     report = run_fuzz(
         seeds=args.seeds, base_seed=args.seed, gen_config=GenConfig(),
         oracle_config=oracle_config, budget=args.budget, jobs=args.jobs,
-        shrink=args.shrink, corpus_dir=args.corpus, progress=progress)
+        shrink=args.shrink, corpus_dir=args.corpus, progress=progress,
+        seed_timeout=args.seed_timeout, checkpoint=args.checkpoint,
+        resume=args.resume)
     if args.json:
         from .core.report import render_json, report_from_fuzz
         print(render_json(report_from_fuzz(report, seeds=args.seeds,
@@ -426,7 +437,7 @@ def _cmd_serve(args) -> int:
     from .core.session import run_serve
 
     with _session_from_args(args) as session:
-        return run_serve(session)
+        return run_serve(session, deadline_ms=args.deadline_ms)
 
 
 def _cmd_watch(args) -> int:
@@ -608,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-np", type=int, default=2, help="MPI ranks (default 2)")
     p.add_argument("-nt", type=int, default=2,
                    help="OpenMP threads per team (default 2)")
+    p.add_argument("--seed-timeout", type=float, default=None, metavar="SECS",
+                   help="wall-clock cap per seed; a hung seed classifies "
+                        "crash (timeout detail) and the campaign continues")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="persist the tally here after every completed seed "
+                        "(atomic write; survives a kill)")
+    p.add_argument("--resume", action="store_true",
+                   help="restore --checkpoint and run only the remaining "
+                        "seeds (final tally identical to an uninterrupted "
+                        "campaign)")
     p.add_argument("--json", action="store_true",
                    help="emit the versioned Report IR instead of the "
                         "summary line")
@@ -635,10 +656,19 @@ def build_parser() -> argparse.ArgumentParser:
                     "emits a delta report (only changed findings; the "
                     "summary lists changed/dependent/re-analyzed functions "
                     "and cache invalidations), 'stats' emits engine + "
-                    "session counters, 'quit' exits.  Edits are diffed by "
-                    "per-function structural fingerprint; unchanged "
-                    "functions are never re-analyzed.")
+                    "session counters, 'ping' emits a liveness report, "
+                    "'quit' exits.  Any command may be prefixed '@ID' — the "
+                    "id is echoed back as a request_id key on its "
+                    "responses.  Edits are diffed by per-function "
+                    "structural fingerprint; unchanged functions are never "
+                    "re-analyzed.  The loop is crash-isolated: unexpected "
+                    "errors self-heal (see docs/resilience.md) and answer "
+                    "with an internal-error report instead of exiting.")
     _session_flags(p)
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="per-request budget: on expiry emit a timeout "
+                        "report, then degrade (retry without the "
+                        "interprocedural plan, then cold single-file)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

@@ -42,12 +42,16 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..minilang import ast_nodes as A
+from ..util.faultinject import fault_site
+from ..util.resilience import Deadline, RetryPolicy
 from ..parallelism import EMPTY, Word, WordInfo
 from ..parallelism.word import P, S
 from .concurrency import ConcurrencyResult
@@ -118,6 +122,15 @@ class EngineStats:
     dependency_invalidations: int = 0
     #: Functions analyzed in worker processes.
     parallel_tasks: int = 0
+    #: Process-pool infrastructure failures (BrokenProcessPool, a dead or
+    #: hung worker, an unpicklable payload) — each one previously fell back
+    #: silently; now counted and surfaced by ``batch --stats``.
+    pool_failures: int = 0
+    #: Pools respawned after a failure (bounded retry with backoff).
+    pool_respawns: int = 0
+    #: Analyze calls that gave up on the pool entirely and degraded to the
+    #: serial path after the respawn budget was exhausted.
+    degraded_serial: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -142,6 +155,9 @@ class EngineStats:
             "evictions": self.evictions,
             "dependency_invalidations": self.dependency_invalidations,
             "parallel_tasks": self.parallel_tasks,
+            "pool_failures": self.pool_failures,
+            "pool_respawns": self.pool_respawns,
+            "degraded_serial": self.degraded_serial,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -151,7 +167,8 @@ class EngineStats:
         kwargs = {f: int(data[f]) for f in (
             "programs", "functions", "hits", "misses", "lazy_hits", "remaps",
             "remap_fallbacks", "evictions", "dependency_invalidations",
-            "parallel_tasks",
+            "parallel_tasks", "pool_failures", "pool_respawns",
+            "degraded_serial",
         ) if f in data}
         return cls(**kwargs)
 
@@ -379,11 +396,25 @@ class AnalysisEngine:
     cache:
         Disable to make the engine a plain driver (no fingerprinting cost);
         :func:`analyze_program` uses exactly that configuration.
+    task_timeout:
+        Per-task wall-clock deadline (seconds) for pooled analyses.  A task
+        that does not finish in time counts as a pool failure: the pool is
+        torn down (a hung worker cannot be reasoned with) and the engine
+        retries / degrades per the respawn policy.  ``None`` (default)
+        keeps the old unbounded behaviour.
     """
 
-    def __init__(self, jobs: int = 1, cache: bool = True) -> None:
+    #: Respawn budget after pool failures: attempts = 1 initial try + 2
+    #: respawns, with deterministic exponential backoff between them.
+    POOL_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
+
+    def __init__(self, jobs: int = 1, cache: bool = True,
+                 task_timeout: Optional[float] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache_enabled = bool(cache)
+        self.task_timeout = task_timeout
+        #: Injectable backoff sleep (tests replace it to run instantly).
+        self._sleep = time.sleep
         self.stats = EngineStats()
         #: Per-function record of the most recent :meth:`analyze` call.
         self.last = AnalyzeRecord()
@@ -442,6 +473,7 @@ class AnalysisEngine:
         doomed = frozenset(fingerprints)
         if not doomed:
             return 0
+        fault_site("store.evict")
         victims = [k for k in self._cache if k[0] in doomed]
         for key in victims:
             del self._cache[key]
@@ -510,12 +542,17 @@ class AnalysisEngine:
         interprocedural: bool = True,
         entry_context: Word = EMPTY,
         plan: Optional[InterproceduralPlan] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ProgramAnalysis:
         """Drop-in replacement for :func:`analyze_program` with memoization
         and optional parallel fan-out.  Same signature, same rendered
         output.  ``plan`` short-circuits the interprocedural plan
         computation — the session layer passes the incrementally updated
-        plan it already built for its dependency diff.
+        plan it already built for its dependency diff.  ``deadline`` is
+        checked cooperatively before each cache-miss analysis (cached work
+        always completes); expiry raises
+        :class:`~repro.util.resilience.DeadlineExceeded` and leaves the
+        cache consistent — everything analyzed so far stays stored.
 
         The result is a :class:`LazyProgramAnalysis`: cache lookups and
         cache-miss analyses happen now (so the store is filled, the stats
@@ -592,7 +629,7 @@ class AnalysisEngine:
                 pending.append((func, key, word, call_stmts, prebuilt, extra))
 
         self._run_pending(pending, func_names, collective_funcs,
-                          precision, artifacts)
+                          precision, artifacts, deadline=deadline)
 
         def materialize() -> ProgramAnalysis:
             merged: Dict[str, FunctionArtifacts] = {}
@@ -646,41 +683,70 @@ class AnalysisEngine:
                 uid_at_pos=tuple(n.uid for n in art.func.walk()))
         return art
 
+    def _pool_map(self, payloads,
+                  deadline: Optional[Deadline]) -> Optional[List[FunctionArtifacts]]:
+        """Fan ``payloads`` out to the worker pool with bounded
+        respawn-on-failure.
+
+        Pool *infrastructure* failures (BrokenProcessPool, no fork/spawn,
+        unpicklable payload, a task blowing its ``task_timeout``) are
+        counted, the pool is torn down, and — per :data:`POOL_RETRY` — a
+        fresh pool is spawned after a deterministic backoff.  When the
+        respawn budget is exhausted, returns ``None`` and the caller
+        degrades to the serial path (``stats.degraded_serial``).  Genuine
+        analysis errors raised *by* a worker's task are NOT caught — they
+        propagate exactly as in a serial run."""
+        policy = self.POOL_RETRY
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                fault_site("engine.pool.submit")
+                pool = self._ensure_pool()
+                if self.task_timeout is None:
+                    return list(pool.map(_analyze_function_task, payloads))
+                futures = [pool.submit(_analyze_function_task, p)
+                           for p in payloads]
+                return [f.result(timeout=self.task_timeout) for f in futures]
+            except (BrokenProcessPool, OSError, pickle.PicklingError,
+                    FutureTimeoutError):
+                self.stats.pool_failures += 1
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = None
+                if attempt < policy.attempts:
+                    self.stats.pool_respawns += 1
+                    self._sleep(policy.delay(attempt))
+        self.stats.degraded_serial += 1
+        return None
+
     def _run_pending(self, pending, func_names, collective_funcs,
-                     precision, artifacts) -> None:
+                     precision, artifacts,
+                     deadline: Optional[Deadline] = None) -> None:
         """Analyze the cache misses — in the persistent process pool when
         profitable."""
         pooled = [p for p in pending if p[4] is None]
         use_pool = self.jobs > 1 and len(pooled) > 1
         results: Dict[Tuple[int, Word], FunctionArtifacts] = {}
         if use_pool:
+            if deadline is not None:
+                deadline.check("engine.pool.submit")
             payloads = [
                 (func, func_names, collective_funcs, word, precision,
                  call_stmts, extra)
                 for func, _key, word, call_stmts, _pre, extra in pooled
             ]
-            try:
-                pool = self._ensure_pool()
-                for (func, _key, word, *_rest), art in zip(
-                        pooled, pool.map(_analyze_function_task, payloads)):
+            arts = self._pool_map(payloads, deadline)
+            if arts is not None:
+                for (func, _key, word, *_rest), art in zip(pooled, arts):
                     results[(id(func), word)] = art
-            except (BrokenProcessPool, OSError, pickle.PicklingError):
-                # Pool infrastructure failure (no fork/spawn, unpicklable
-                # payload, worker killed): drop the broken pool and fall
-                # back to the serial path below.  Genuine analysis errors
-                # raised by a worker are NOT caught — they propagate exactly
-                # as in a serial run.
-                results.clear()
-                if self._pool is not None:
-                    self._pool.shutdown(wait=False, cancel_futures=True)
-                    self._pool = None
-            else:
                 self.stats.parallel_tasks += len(results)
 
         uid_seqs: Dict[int, Tuple[int, ...]] = {}
         for func, key, word, call_stmts, prebuilt, extra in pending:
             art = results.get((id(func), word))
             if art is None:
+                if deadline is not None:
+                    deadline.check("engine.task")
+                fault_site("engine.task")
                 art = _analyze_function(func, func_names, collective_funcs,
                                         word, precision, call_stmts, prebuilt,
                                         extra)

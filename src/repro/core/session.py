@@ -59,6 +59,8 @@ from ..minilang import ast_nodes as A
 from ..minilang.parser import parse_program
 from ..minilang.semantics import Checker, check_program
 from ..parallelism import EMPTY, Word
+from ..util.faultinject import fault_site
+from ..util.resilience import Deadline, DeadlineExceeded, Failure
 from .callgraph import (
     FunctionSummary,
     build_call_graph,
@@ -218,6 +220,7 @@ def _parse_chunk(chunk: SourceChunk, filename: str) -> Optional[A.FuncDef]:
     """Parse one chunk standalone, padded so every node's line/col matches
     what a full-file parse would assign.  ``None`` when the chunk is not
     exactly one function (the caller falls back to a full parse)."""
+    fault_site("session.parse_chunk")
     padded = ("\n" * (chunk.start_line - 1) + " " * (chunk.start_col - 1)
               + chunk.text)
     try:
@@ -293,15 +296,29 @@ class AnalysisSession:
     re-analyzed and which findings changed.  See the module docstring for
     the invalidation strategy."""
 
+    #: Recent failures kept for ``stats`` (bounded: the record is
+    #: diagnostic, not a log).
+    MAX_FAILURES = 8
+
     def __init__(self, jobs: int = 1, precision: str = "paper",
                  interprocedural: bool = True,
                  entry_context: Word = EMPTY) -> None:
+        self.jobs = jobs
         self.engine = AnalysisEngine(jobs=jobs)
         self.precision = precision
         self.interprocedural = interprocedural
         self.entry_context = entry_context
         self.updates = 0
         self.no_op_updates = 0
+        #: Resilience counters (see ``docs/resilience.md``): requests healed
+        #: by targeted file-state invalidation, full session rebuilds,
+        #: per-request deadline expiries, and requests answered by a
+        #: degraded (no-interprocedural / cold single-file) analysis.
+        self.recoveries = 0
+        self.rebuilds = 0
+        self.timeouts = 0
+        self.degraded = 0
+        self.failures: List[Failure] = []
         self._files: Dict[str, _FileState] = {}
         #: id(func) -> func: functions already semantically checked (valid
         #: while the program's function-name set is unchanged — the checks
@@ -327,8 +344,46 @@ class AnalysisSession:
                 "files": len(self._files),
                 "updates": self.updates,
                 "no_op_updates": self.no_op_updates,
+                "recoveries": self.recoveries,
+                "rebuilds": self.rebuilds,
+                "timeouts": self.timeouts,
+                "degraded": self.degraded,
+                "failures": [f.as_dict() for f in self.failures],
             },
         }
+
+    # -- self-healing ----------------------------------------------------------
+
+    def record_failure(self, site: str, exc: BaseException,
+                       attempt: int = 1) -> Failure:
+        """Keep a bounded, structured trail of what went wrong (surfaced by
+        the ``stats`` command so supervisors can see *why* the counters
+        moved without scraping stderr)."""
+        failure = Failure.from_exception(site, attempt, exc)
+        self.failures.append(failure)
+        del self.failures[:-self.MAX_FAILURES]
+        return failure
+
+    def recover_file(self, path: str) -> None:
+        """Targeted self-heal: forget everything the session knows about
+        ``path`` and evict its functions' artifacts from the store.  The
+        next update of the file is a cold, from-scratch analysis; every
+        other file's warm state survives."""
+        state = self._files.pop(path, None)
+        if state is not None:
+            self.engine.invalidate_fingerprints(set(state.fingerprints.values()))
+
+    def rebuild(self) -> None:
+        """Last-resort self-heal: throw the whole warm state away — a fresh
+        engine (the old pool is shut down) and no per-file state.  The
+        session object itself survives, so the serve loop keeps running."""
+        try:
+            self.engine.close()
+        except Exception:
+            pass  # a wedged pool must not block the rebuild
+        self.engine = AnalysisEngine(jobs=self.jobs)
+        self._files.clear()
+        self._checked.clear()
 
     # -- parsing ---------------------------------------------------------------
 
@@ -409,14 +464,20 @@ class AnalysisSession:
 
     # -- updates ---------------------------------------------------------------
 
-    def update(self, path: str) -> SessionUpdate:
+    def update(self, path: str, deadline: Optional[Deadline] = None,
+               interprocedural: Optional[bool] = None) -> SessionUpdate:
         """Re-read ``path`` from disk and fold it into the session."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
+            # Fault site: an injected OSError here is a failed read (a
+            # SessionError like any other); an injected `truncate` hands a
+            # half-read file downstream, which the parse layer must survive.
+            source = fault_site("session.read_file", source)
         except OSError as exc:
             raise SessionError(path, [str(exc)]) from exc
-        return self.update_source(path, source)
+        return self.update_source(path, source, deadline=deadline,
+                                  interprocedural=interprocedural)
 
     def _no_op_update(self, path: str, prev: _FileState,
                       source: str, full_parse: bool) -> SessionUpdate:
@@ -432,10 +493,22 @@ class AnalysisSession:
         delta.report = self._delta_report(path, source, delta, prev)
         return delta
 
-    def update_source(self, path: str, source: str) -> SessionUpdate:
+    def update_source(self, path: str, source: str,
+                      deadline: Optional[Deadline] = None,
+                      interprocedural: Optional[bool] = None) -> SessionUpdate:
         """Fold the current text of ``path`` into the session and return
         what changed.  Raises :class:`SessionError` (state untouched) when
-        the text does not parse or check."""
+        the text does not parse or check.
+
+        ``deadline`` is checked cooperatively at every phase boundary
+        (parse, plan, each cache-miss analysis, render); expiry raises
+        :class:`~repro.util.resilience.DeadlineExceeded` with the session
+        state *untouched* — the previous version stays current, exactly
+        like a :class:`SessionError`.  ``interprocedural`` overrides the
+        session default for this one update (the serve deadline ladder
+        degrades to the cheaper per-function plan)."""
+        interproc = (self.interprocedural if interprocedural is None
+                     else interprocedural)
         self.updates += 1
         prev = self._files.get(path)
         if prev is not None and prev.source == source:
@@ -443,6 +516,8 @@ class AnalysisSession:
 
         program, chunk_map, full_parse = self._parse_incremental(path, source,
                                                                  prev)
+        if deadline is not None:
+            deadline.check("session.parse")
         # Unchanged chunks reuse the previous FuncDef objects, so the
         # engine's id-keyed identity memo skips re-hashing them.
         fingerprints = {f.name: self.engine._fingerprint_for(f)
@@ -493,7 +568,7 @@ class AnalysisSession:
 
         plan = None
         initial_words: Dict[str, Word] = {}
-        if self.interprocedural:
+        if interproc:
             contexts = propagate_contexts(program, graph,
                                           entry_context=self.entry_context)
             summaries = collective_summaries(
@@ -511,16 +586,21 @@ class AnalysisSession:
                 # initial context applies to every function directly.
                 initial_words = {f.name: self.entry_context
                                  for f in program.funcs}
+        if deadline is not None:
+            deadline.check("session.plan")
 
+        fault_site("session.analyze")
         analysis = self.engine.analyze(
             program, initial_words=initial_words, precision=self.precision,
-            interprocedural=self.interprocedural,
-            entry_context=self.entry_context, plan=plan)
+            interprocedural=interproc,
+            entry_context=self.entry_context, plan=plan, deadline=deadline)
         record = self.engine.last
         reanalyzed = record.missed_functions
         dep_reanalyzed = [n for n in reanalyzed if n not in dirty]
         self.engine.stats.dependency_invalidations += len(dep_reanalyzed)
 
+        if deadline is not None:
+            deadline.check("session.render")
         report = report_from_analysis(analysis, source_path=path,
                                       source_text=source)
         new_findings = {f["fingerprint"]: f for f in report["findings"]}
@@ -592,50 +672,185 @@ def _error_report(path: Optional[str], messages: List[str],
                         summary={"errors": list(messages)})
 
 
-def run_serve(session: AnalysisSession, stdin=None, stdout=None) -> int:
+def _timeout_report(path: str, exc: DeadlineExceeded,
+                    deadline_ms: float) -> dict:
+    return build_report(
+        "serve", source=source_stamp(path, None), findings=[],
+        verdict="error",
+        summary={
+            "errors": [str(exc)],
+            "timeout": {
+                "deadline_ms": deadline_ms,
+                "site": exc.site,
+                "elapsed_ms": round(exc.elapsed * 1000.0, 1),
+            },
+        })
+
+
+def _internal_error_report(path: Optional[str], failure: Failure,
+                           request: str) -> dict:
+    """The catch-all response: *any* unexpected exception becomes a valid
+    Report IR line instead of a dead server."""
+    return build_report(
+        "serve", source=source_stamp(path, None), findings=[],
+        verdict="error",
+        summary={
+            "errors": [f"internal error: {failure.error_type}: "
+                       f"{failure.message}"],
+            "failure": failure.as_dict(),
+            "request": request,
+        })
+
+
+def run_serve(session: AnalysisSession, stdin=None, stdout=None,
+              deadline_ms: Optional[float] = None,
+              clock=time.monotonic) -> int:
     """The ``parcoach serve`` loop: a line protocol on stdin, one Report IR
     JSON document per line on stdout.
 
-    Commands::
+    Commands (any may be prefixed ``@ID`` — the id is echoed back as a
+    top-level ``request_id`` key on every response to that request)::
 
         analyze PATH   (re)analyze PATH incrementally, emit the delta report
         stats          emit engine + session counters
+        ping           emit a liveness report (cheap, never analyzes)
         quit           exit 0 (EOF does the same)
-    """
+
+    The loop is crash-isolated: no request can kill the server.  A
+    ``SessionError`` is a normal error report; any *other* exception runs
+    the self-heal ladder — invalidate the offending file and retry
+    (``recoveries``), then rebuild the whole session and retry
+    (``rebuilds``), then answer with an ``internal-error`` report carrying
+    a traceback digest.  ``KeyboardInterrupt`` exits 0 cleanly.
+
+    ``deadline_ms`` arms a per-request budget: on expiry the request emits
+    a ``timeout`` report, then degrades — retry once with the
+    interprocedural plan off, then a cold single-file analysis with no
+    deadline (``timeouts`` / ``degraded`` counters)."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
 
-    def emit(doc: dict) -> None:
-        stdout.write(render_json(doc))
+    def respond(doc: dict, request_id: Optional[str]) -> None:
+        if request_id is not None:
+            doc = dict(doc)
+            doc["request_id"] = request_id
+        payload = render_json(doc)
+        try:
+            written = fault_site("serve.emit", payload)
+            if written != payload:
+                # A short write would corrupt the line protocol; treat it
+                # like any other emit failure and resend the full line.
+                raise OSError("short write on response stream")
+            stdout.write(payload)
+            stdout.flush()
+            return
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            session.record_failure("serve.emit", exc)
+            session.recoveries += 1
+        stdout.write(payload)
         stdout.flush()
 
-    for raw in stdin:
-        line = raw.strip()
-        if not line:
-            continue
-        parts = line.split(None, 1)
-        command = parts[0]
-        if command == "quit":
-            break
-        if command == "stats":
-            emit(build_report("serve", source=None, findings=[],
-                              verdict="clean",
-                              summary={"stats": session.stats()}))
-            continue
-        if command == "analyze":
-            if len(parts) != 2:
-                emit(_error_report(None, ["usage: analyze PATH"]))
-                continue
-            path = parts[1]
+    def analyze_with_deadline(path: str, request_id: Optional[str]) -> None:
+        """The deadline ladder: emit the delta report, or on budget expiry
+        a timeout report followed by the best degraded answer we can
+        still produce."""
+        if deadline_ms is None:
+            respond(session.update(path).report, request_id)
+            return
+        try:
+            delta = session.update(
+                path, deadline=Deadline.after_ms(deadline_ms, clock))
+        except DeadlineExceeded as exc:
+            session.timeouts += 1
+            session.record_failure(exc.site or "deadline", exc)
+            respond(_timeout_report(path, exc, deadline_ms), request_id)
             try:
-                delta = session.update(path)
+                delta = session.update(
+                    path, deadline=Deadline.after_ms(deadline_ms, clock),
+                    interprocedural=False)
+            except DeadlineExceeded as exc2:
+                session.record_failure(exc2.site or "deadline", exc2, 2)
+                # Last rung: cold single-file, no deadline — always answers.
+                session.recover_file(path)
+                delta = session.update(path, interprocedural=False)
+            session.degraded += 1
+        respond(delta.report, request_id)
+
+    def handle_analyze(path: str, request_id: Optional[str],
+                       request: str) -> None:
+        """The self-heal ladder around one analyze request."""
+        for attempt in (1, 2, 3):
+            try:
+                analyze_with_deadline(path, request_id)
+                return
             except SessionError as exc:
-                emit(_error_report(exc.path, exc.messages))
+                respond(_error_report(exc.path, exc.messages), request_id)
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failure = session.record_failure("serve.analyze", exc,
+                                                 attempt)
+                if attempt == 1:
+                    session.recover_file(path)
+                    session.recoveries += 1
+                elif attempt == 2:
+                    session.rebuild()
+                    session.rebuilds += 1
+                else:
+                    respond(_internal_error_report(path, failure, request),
+                            request_id)
+                    return
+
+    try:
+        for raw in stdin:
+            line = raw.strip()
+            if not line:
                 continue
-            emit(delta.report)
-            continue
-        emit(_error_report(None, [f"unknown command {command!r} "
-                                  f"(expected analyze/stats/quit)"]))
+            request_id: Optional[str] = None
+            if line.startswith("@"):
+                head, _, rest = line.partition(" ")
+                request_id = head[1:]
+                line = rest.strip()
+                if not line:
+                    respond(_error_report(
+                        None, ["empty command after request id"]), request_id)
+                    continue
+            parts = line.split(None, 1)
+            command = parts[0]
+            if command == "quit":
+                break
+            if command == "ping":
+                respond(build_report(
+                    "serve", source=None, findings=[], verdict="clean",
+                    summary={"ping": {
+                        "ok": True,
+                        "files": len(session._files),
+                        "updates": session.updates,
+                        "recoveries": session.recoveries,
+                        "rebuilds": session.rebuilds,
+                    }}), request_id)
+                continue
+            if command == "stats":
+                respond(build_report("serve", source=None, findings=[],
+                                     verdict="clean",
+                                     summary={"stats": session.stats()}),
+                        request_id)
+                continue
+            if command == "analyze":
+                if len(parts) != 2:
+                    respond(_error_report(None, ["usage: analyze PATH"]),
+                            request_id)
+                    continue
+                handle_analyze(parts[1], request_id, line)
+                continue
+            respond(_error_report(
+                None, [f"unknown command {command!r} "
+                       f"(expected analyze/stats/ping/quit)"]), request_id)
+    except KeyboardInterrupt:
+        return 0
     return 0
 
 
@@ -644,7 +859,13 @@ def run_watch(session: AnalysisSession, path: str, interval: float = 0.5,
               clock=time.monotonic, sleep=time.sleep) -> int:
     """The ``parcoach watch`` loop: analyze ``path`` now, then poll it and
     re-emit a delta report whenever its content changes.  ``max_updates``
-    bounds the number of emitted updates (0 = until interrupted)."""
+    bounds the number of emitted updates (0 = until interrupted).
+
+    Crash-isolated like serve: a ``SessionError`` (or any unexpected
+    exception, after a targeted ``recover_file`` self-heal) becomes an
+    error report, de-duplicated so a persistently broken file reports
+    once per distinct error, not once per poll.  ``KeyboardInterrupt``
+    anywhere in the loop — including mid-analysis — exits 0 cleanly."""
     stdout = stdout if stdout is not None else sys.stdout
 
     def emit(doc: dict) -> None:
@@ -653,28 +874,43 @@ def run_watch(session: AnalysisSession, path: str, interval: float = 0.5,
 
     emitted = 0
     last_reported_error: Optional[str] = None
-    while True:
-        try:
-            delta = session.update(path)
-        except SessionError as exc:
-            message = "\n".join(exc.messages)
-            if message != last_reported_error:
-                emit(_error_report(exc.path, exc.messages, tool="watch"))
-                emitted += 1
-                last_reported_error = message
-        else:
-            last_reported_error = None
-            if delta.seq == 1 or not delta.no_op:
-                report = dict(delta.report)
-                report["tool"] = "watch"
-                emit(report)
-                emitted += 1
-        if max_updates and emitted >= max_updates:
-            return 0
-        try:
+    try:
+        while True:
+            try:
+                delta = session.update(path)
+            except SessionError as exc:
+                message = "\n".join(exc.messages)
+                if message != last_reported_error:
+                    emit(_error_report(exc.path, exc.messages, tool="watch"))
+                    emitted += 1
+                    last_reported_error = message
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failure = session.record_failure("watch.update", exc)
+                session.recover_file(path)
+                session.recoveries += 1
+                message = f"{failure.error_type}: {failure.message}"
+                if message != last_reported_error:
+                    emit(build_report(
+                        "watch", source=source_stamp(path, None),
+                        findings=[], verdict="error",
+                        summary={"errors": [message],
+                                 "failure": failure.as_dict()}))
+                    emitted += 1
+                    last_reported_error = message
+            else:
+                last_reported_error = None
+                if delta.seq == 1 or not delta.no_op:
+                    report = dict(delta.report)
+                    report["tool"] = "watch"
+                    emit(report)
+                    emitted += 1
+            if max_updates and emitted >= max_updates:
+                return 0
             sleep(interval)
-        except KeyboardInterrupt:
-            return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 # Re-exported for the CLI and tests.

@@ -10,12 +10,15 @@ regression directory.  Surfaced as ``parcoach fuzz``.
 """
 
 from .campaign import (
+    CHECKPOINT_VERSION,
     MUTANT_STRIDE,
     FuzzReport,
     SeedOutcome,
     fuzz_one,
+    load_checkpoint,
     program_for_seed,
     run_fuzz,
+    write_checkpoint,
 )
 from .generator import (
     GenConfig,
@@ -43,12 +46,15 @@ from .reduce import (
 )
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "MUTANT_STRIDE",
     "FuzzReport",
     "SeedOutcome",
     "fuzz_one",
+    "load_checkpoint",
     "program_for_seed",
     "run_fuzz",
+    "write_checkpoint",
     "GenConfig",
     "GeneratorError",
     "build_program",

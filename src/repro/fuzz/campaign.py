@@ -13,10 +13,20 @@ Reproduction contract: any finding of
 ``parcoach fuzz --seeds N --seed S`` is reproducible alone via
 ``parcoach fuzz --seeds 1 --seed <failing seed>`` — generation is keyed on
 the absolute seed value, never on the position inside the campaign.
+
+Survivability (see ``docs/resilience.md``): ``seed_timeout`` caps one
+seed's wall clock — a hung seed is classified ``crash`` with a ``timeout``
+detail and the campaign continues; ``checkpoint``/``resume`` persist the
+running tally after every completed seed, so a killed campaign restarts
+exactly where it stopped and ends with the identical final tally (seed
+outcomes are deterministic, so nothing needs to be re-verified).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
@@ -24,6 +34,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..util.faultinject import fault_site
 from .generator import GenConfig, GeneratorError, generate_program, mutate
 from .oracle import (
     AGREE,
@@ -106,28 +117,150 @@ class FuzzReport:
         return " ".join(parts)
 
 
+def _call_with_timeout(fn, timeout: Optional[float]):
+    """Run ``fn()`` under a wall-clock cap.  Returns ``(result, False)``, or
+    ``(None, True)`` on timeout.  The body runs in a daemon thread so a
+    genuinely hung body (livelock, injected ``hang``) cannot keep the
+    process alive — the same mechanism works serially and inside pool
+    workers, where per-task process kills are not available."""
+    if timeout is None:
+        return fn(), False
+    box: dict = {}
+
+    def body() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # re-raised on the caller's thread
+            box["error"] = exc
+
+    worker = threading.Thread(target=body, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        return None, True
+    if "error" in box:
+        raise box["error"]
+    return box["result"], False
+
+
 def fuzz_one(seed: int,
              gen_config: GenConfig = GenConfig(),
-             oracle_config: OracleConfig = OracleConfig()) -> SeedOutcome:
-    """Generate + cross-check one seed (the worker body)."""
-    try:
+             oracle_config: OracleConfig = OracleConfig(),
+             seed_timeout: Optional[float] = None) -> SeedOutcome:
+    """Generate + cross-check one seed (the worker body).
+
+    Any failure mode of the seed body — generator error, internal
+    exception, or exceeding ``seed_timeout`` — is classified ``crash``
+    with a detail string; one bad seed never kills the campaign."""
+
+    def body() -> Tuple[str, OracleVerdict]:
+        fault_site("fuzz.seed")
         source = program_for_seed(seed, gen_config)
+        return source, run_oracle(source, oracle_config,
+                                  name=f"<fuzz seed={seed}>")
+
+    try:
+        result, timed_out = _call_with_timeout(body, seed_timeout)
     except GeneratorError as exc:
         verdict = OracleVerdict(classification=CRASH,
                                 crash_detail=f"generator: {exc}")
         return SeedOutcome(seed=seed, classification=CRASH, verdict=verdict,
                            source="")
-    verdict = run_oracle(source, oracle_config, name=f"<fuzz seed={seed}>")
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        verdict = OracleVerdict(
+            classification=CRASH,
+            crash_detail=f"seed body: {type(exc).__name__}: {exc}")
+        return SeedOutcome(seed=seed, classification=CRASH, verdict=verdict,
+                           source="")
+    if timed_out:
+        verdict = OracleVerdict(
+            classification=CRASH,
+            crash_detail=f"timeout: seed exceeded {seed_timeout:g}s")
+        return SeedOutcome(seed=seed, classification=CRASH, verdict=verdict,
+                           source="")
+    source, verdict = result
     return SeedOutcome(seed=seed, classification=verdict.classification,
                        verdict=verdict, source=source)
 
 
-def _fuzz_seed_task(payload: Tuple[int, GenConfig, OracleConfig]) -> Tuple[int, str, dict, str]:
+def _fuzz_seed_task(payload: Tuple[int, GenConfig, OracleConfig,
+                                   Optional[float]]) -> Tuple[int, str, dict, str]:
     """Process-pool entry point (top level so it pickles)."""
-    seed, gen_config, oracle_config = payload
-    outcome = fuzz_one(seed, gen_config, oracle_config)
+    seed, gen_config, oracle_config, seed_timeout = payload
+    outcome = fuzz_one(seed, gen_config, oracle_config,
+                       seed_timeout=seed_timeout)
     return (outcome.seed, outcome.classification, outcome.verdict.as_dict(),
             outcome.source)
+
+
+#: Checkpoint file schema version (bump on incompatible change).
+CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_doc(report: FuzzReport) -> dict:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "base_seed": report.base_seed,
+        "requested": report.requested,
+        "completed": report.completed,
+        "counts": dict(report.counts),
+        "disagreements": [
+            {"seed": o.seed, "classification": o.classification,
+             "verdict": o.verdict.as_dict(), "has_source": bool(o.source)}
+            for o in report.disagreements
+        ],
+        "overapprox_seeds": list(report.overapprox_seeds),
+    }
+
+
+def write_checkpoint(path: str, report: FuzzReport) -> None:
+    """Atomically persist the campaign tally (write-temp + rename, so a
+    kill mid-write leaves the previous checkpoint intact)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(_checkpoint_doc(report), handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str, seeds: int, base_seed: int,
+                    gen_config: GenConfig = GenConfig()) -> FuzzReport:
+    """Rebuild a partial :class:`FuzzReport` from a checkpoint.
+
+    Disagreement *sources* are not stored — they are regenerated from the
+    absolute seed, which is the reproduction contract anyway.  Raises
+    ``ValueError`` when the checkpoint belongs to a different campaign
+    (seed range mismatch) — resuming it would silently mix tallies."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(f"checkpoint {path}: unsupported version "
+                         f"{doc.get('version')!r}")
+    if doc.get("base_seed") != base_seed or doc.get("requested") != seeds:
+        raise ValueError(
+            f"checkpoint {path} is for seeds {doc.get('base_seed')}+"
+            f"{doc.get('requested')}, not {base_seed}+{seeds}")
+    report = FuzzReport(requested=seeds, base_seed=base_seed)
+    report.completed = int(doc.get("completed", 0))
+    report.counts = Counter({str(k): int(v)
+                             for k, v in doc.get("counts", {}).items()})
+    report.overapprox_seeds = [int(s)
+                               for s in doc.get("overapprox_seeds", [])]
+    for entry in doc.get("disagreements", []):
+        source = ""
+        if entry.get("has_source"):
+            try:
+                source = program_for_seed(int(entry["seed"]), gen_config)
+            except Exception:
+                source = ""
+        report.disagreements.append(SeedOutcome(
+            seed=int(entry["seed"]),
+            classification=str(entry["classification"]),
+            verdict=OracleVerdict.from_dict(entry["verdict"]),
+            source=source))
+    return report
 
 
 def run_fuzz(
@@ -141,6 +274,9 @@ def run_fuzz(
     corpus_dir: Optional[str] = None,
     shrink_budget: int = 250,
     progress=None,
+    seed_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> FuzzReport:
     """Run the campaign over seeds ``base_seed .. base_seed + seeds - 1``.
 
@@ -151,12 +287,27 @@ def run_fuzz(
     and the ``.mini``/``.json`` pair persisted there.  ``progress`` is an
     optional callable receiving each :class:`SeedOutcome` as it completes
     (CLI verbose mode); it fires at most once per seed even across the
-    broken-pool fallback."""
+    broken-pool fallback.
+
+    ``seed_timeout`` caps one seed's wall clock (timed-out seeds classify
+    ``crash`` with a ``timeout`` detail and the campaign continues).
+    ``checkpoint`` persists the tally after every completed seed;
+    ``resume`` restores it and runs only the remaining seeds — because
+    outcomes are seed-deterministic, a resumed campaign's final tally is
+    identical to an uninterrupted one's."""
     if corpus_dir is not None:
         shrink = True
-    report = FuzzReport(requested=seeds, base_seed=base_seed)
+
+    def fresh_report() -> FuzzReport:
+        if resume and checkpoint is not None and os.path.exists(checkpoint):
+            return load_checkpoint(checkpoint, seeds, base_seed, gen_config)
+        return FuzzReport(requested=seeds, base_seed=base_seed)
+
+    report = fresh_report()
     start = time.monotonic()
-    seed_list = list(range(base_seed, base_seed + seeds))
+    # Completed seeds are always a prefix of the range (serial order, and
+    # pool.map yields in submission order), so resuming = skipping them.
+    seed_list = list(range(base_seed + report.completed, base_seed + seeds))
     reported: set = set()
 
     def note(outcome: SeedOutcome) -> None:
@@ -166,6 +317,8 @@ def run_fuzz(
             report.disagreements.append(outcome)
         elif outcome.classification == STATIC_OVERAPPROX:
             report.overapprox_seeds.append(outcome.seed)
+        if checkpoint is not None:
+            write_checkpoint(checkpoint, report)
         if progress is not None and outcome.seed not in reported:
             reported.add(outcome.seed)
             progress(outcome)
@@ -177,7 +330,8 @@ def run_fuzz(
         chunk = max(1, min(8, len(seed_list) // (jobs * 4) or 1))
         pool = ProcessPoolExecutor(max_workers=jobs)
         try:
-            payloads = [(s, gen_config, oracle_config) for s in seed_list]
+            payloads = [(s, gen_config, oracle_config, seed_timeout)
+                        for s in seed_list]
             for seed, cls, verdict_dict, source in pool.map(
                     _fuzz_seed_task, payloads, chunksize=chunk):
                 note(SeedOutcome(
@@ -190,10 +344,14 @@ def run_fuzz(
         except (BrokenProcessPool, OSError):
             # No usable pool on this platform: restart serially (seed
             # outcomes are deterministic, so a clean restart is cheapest;
-            # `reported` keeps progress from firing twice per seed).
-            report = FuzzReport(requested=seeds, base_seed=base_seed)
-            for seed in seed_list:
-                note(fuzz_one(seed, gen_config, oracle_config))
+            # `reported` keeps progress from firing twice per seed).  The
+            # restart re-reads the checkpoint, which the pool attempt may
+            # have advanced — continue from *its* tally, never re-counting.
+            report = fresh_report()
+            for seed in range(base_seed + report.completed,
+                              base_seed + seeds):
+                note(fuzz_one(seed, gen_config, oracle_config,
+                              seed_timeout=seed_timeout))
                 if out_of_budget():
                     report.budget_hit = True
                     break
@@ -204,10 +362,15 @@ def run_fuzz(
             pool.shutdown(wait=False, cancel_futures=True)
     else:
         for seed in seed_list:
-            note(fuzz_one(seed, gen_config, oracle_config))
+            note(fuzz_one(seed, gen_config, oracle_config,
+                          seed_timeout=seed_timeout))
             if out_of_budget():
                 report.budget_hit = True
                 break
+
+    # Deterministic ordering regardless of resume/fallback history.
+    report.disagreements.sort(key=lambda o: o.seed)
+    report.overapprox_seeds.sort()
 
     if shrink and report.disagreements:
         for outcome in report.disagreements:

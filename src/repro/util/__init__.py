@@ -1,10 +1,26 @@
 """repro.util — small shared algorithmic utilities.
 
-Currently: :func:`repro.util.ddmin.ddmin`, the greedy delta-debugging core
-shared by schedule-trace minimization (:mod:`repro.explore.minimize`) and
-fuzzer counterexample reduction (:mod:`repro.fuzz.reduce`).
+* :func:`repro.util.ddmin.ddmin` — the greedy delta-debugging core shared
+  by schedule-trace minimization (:mod:`repro.explore.minimize`) and
+  fuzzer counterexample reduction (:mod:`repro.fuzz.reduce`).
+* :mod:`repro.util.resilience` — deadlines, bounded deterministic retry
+  with backoff, structured failure records.
+* :mod:`repro.util.faultinject` — the deterministic fault-injection
+  registry behind ``PARCOACH_FAULTS`` (named sites, hit counts).
 """
 
 from .ddmin import ddmin
+from .faultinject import FaultPlan, InjectedFault, fault_site
+from .resilience import Deadline, DeadlineExceeded, Failure, RetryPolicy, retry
 
-__all__ = ["ddmin"]
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "Failure",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "ddmin",
+    "fault_site",
+    "retry",
+]

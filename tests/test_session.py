@@ -398,3 +398,118 @@ def test_stats_round_trip_through_json():
     # Every exported value is a plain JSON number.
     for key, value in stats.as_dict().items():
         assert isinstance(value, (int, float)), key
+
+
+# -- resilience protocol extras (see also tests/test_resilience.py) -----------------
+
+
+class _StepClock:
+    """A monotonic clock advancing a fixed step per call (deterministic
+    deadline behaviour under test)."""
+
+    def __init__(self, step):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def test_serve_ping_and_request_id_echo(tmp_path):
+    path = tmp_path / "s.mc"
+    path.write_text(BASE)
+    script = io.StringIO(f"ping\n@42 ping\n@a1 analyze {path}\nquit\n")
+    out = io.StringIO()
+    with AnalysisSession() as session:
+        code = run_serve(session, stdin=script, stdout=out)
+    assert code == 0
+    plain, tagged, analyzed = [json.loads(line)
+                               for line in out.getvalue().splitlines()]
+    assert plain["summary"]["ping"]["ok"] is True
+    assert "request_id" not in plain
+    assert tagged["request_id"] == "42"
+    assert tagged["summary"]["ping"]["files"] == 0  # ping never analyzes
+    assert analyzed["request_id"] == "a1"
+    assert analyzed["verdict"] in ("clean", "findings")
+    for doc in (plain, tagged, analyzed):
+        assert validate_report(doc) == []
+
+
+def test_serve_request_id_with_empty_command_is_an_error_report():
+    out = io.StringIO()
+    with AnalysisSession() as session:
+        code = run_serve(session, stdin=io.StringIO("@7\nquit\n"), stdout=out)
+    assert code == 0
+    doc = json.loads(out.getvalue())
+    assert doc["request_id"] == "7"
+    assert doc["verdict"] == "error"
+    assert validate_report(doc) == []
+
+
+def test_serve_deadline_expiry_degrades_but_still_answers(tmp_path):
+    path = tmp_path / "d.mc"
+    path.write_text(BASE)
+    # Budget 100ms, every clock read advances 60ms: the second phase
+    # checkpoint of each deadlined attempt trips, so the request walks the
+    # whole ladder — timeout report, interprocedural-off retry (also
+    # expires), then the cold no-deadline analysis that always answers.
+    clock = _StepClock(step=0.06)
+    out = io.StringIO()
+    with AnalysisSession() as session:
+        code = run_serve(session, stdin=io.StringIO(f"analyze {path}\nquit\n"),
+                         stdout=out, deadline_ms=100.0, clock=clock)
+        assert session.timeouts == 1
+        assert session.degraded == 1
+    assert code == 0
+    timeout_doc, final = [json.loads(line)
+                          for line in out.getvalue().splitlines()]
+    assert timeout_doc["verdict"] == "error"
+    assert timeout_doc["summary"]["timeout"]["deadline_ms"] == 100.0
+    assert timeout_doc["summary"]["timeout"]["site"]
+    assert final["verdict"] in ("clean", "findings")
+    for doc in (timeout_doc, final):
+        assert validate_report(doc) == []
+
+
+def test_serve_generous_deadline_is_invisible(tmp_path):
+    path = tmp_path / "d.mc"
+    path.write_text(BASE)
+    out = io.StringIO()
+    with AnalysisSession() as session:
+        code = run_serve(session, stdin=io.StringIO(f"analyze {path}\nquit\n"),
+                         stdout=out, deadline_ms=60000.0)
+        assert session.timeouts == 0
+        assert session.degraded == 0
+    assert code == 0
+    assert len(out.getvalue().splitlines()) == 1  # just the delta report
+
+
+def test_watch_dedups_errors_and_reemits_on_change(tmp_path):
+    path = tmp_path / "w.mc"
+    path.write_text("void main() {\n")  # parse error A
+    out = io.StringIO()
+    polls = {"n": 0}
+
+    def fake_sleep(_interval):
+        # The watch loop polls between sleeps: several polls see each
+        # broken revision, but each distinct error must report only once.
+        polls["n"] += 1
+        if polls["n"] == 3:
+            path.write_text("void main() { @ }\n")  # different parse error B
+        elif polls["n"] == 6:
+            path.write_text(BASE)  # recovered
+
+    with AnalysisSession() as session:
+        code = run_watch(session, str(path), interval=0, max_updates=3,
+                         stdout=out, sleep=fake_sleep)
+    assert code == 0
+    docs = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert len(docs) == 3  # errA once, errB once, recovery delta once
+    assert docs[0]["verdict"] == "error"
+    assert docs[1]["verdict"] == "error"
+    assert docs[0]["summary"]["errors"] != docs[1]["summary"]["errors"]
+    assert docs[2]["verdict"] in ("clean", "findings")
+    assert docs[2]["tool"] == "watch"
+    for doc in docs:
+        assert validate_report(doc) == []
