@@ -23,7 +23,8 @@ The compact schema::
         "dominates_depth_ratio": 1.1,          # deepest / shallowest query
         "schedules_per_sec": {"explore_dfs": 410.2, ...},  # exploration rate
         "fuzz_programs_per_sec": {"fuzz_oracle": 40.1, ...},  # oracle rate
-        "interproc_overhead": {"D32": 1.6, ...}  # interproc / intraproc mean
+        "interproc_overhead": {"D32": 1.6, ...},  # interproc / intraproc mean
+        "project_edit_speedup": {"P100": 8.0}   # cold project / one-file edit
       }
     }
 """
@@ -53,6 +54,7 @@ def run_benchmarks(raw_json: str) -> None:
         os.path.join(HERE, "bench_explore.py"),
         os.path.join(HERE, "bench_fuzz.py"),
         os.path.join(HERE, "bench_incremental.py"),
+        os.path.join(HERE, "bench_project.py"),
         "-q", "--benchmark-only", f"--benchmark-json={raw_json}",
     ]
     subprocess.run(cmd, check=True, cwd=REPO, env=env)
@@ -117,6 +119,23 @@ def compact(raw: dict) -> dict:
     }
     if incremental:
         derived["incremental_speedup"] = incremental
+    project_cold = by_config.get("project_cold", {})
+    project_edit = by_config.get("project_edit", {})
+    project_patch = by_config.get("project_patch", {})
+    edit_speedup = {
+        size: round(project_cold[size] / project_edit[size], 2)
+        for size in project_cold
+        if size in project_edit and project_edit[size] > 0
+    }
+    if edit_speedup:
+        derived["project_edit_speedup"] = edit_speedup
+    patch_speedup = {
+        size: round(project_cold[size] / project_patch[size], 2)
+        for size in project_cold
+        if size in project_patch and project_patch[size] > 0
+    }
+    if patch_speedup:
+        derived["project_patch_speedup"] = patch_speedup
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
     if fuzz_rates:

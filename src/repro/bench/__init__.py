@@ -17,7 +17,8 @@ from .pipeline import (
     measure_overheads,
     overhead_percent,
 )
-from .scale import SCALE_SIZES, make_scale_program, scale_suite
+from .scale import (SCALE_SIZES, make_project, make_scale_program,
+                    scale_suite, write_project)
 
 #: The five benchmarks of Figure 1, in the paper's order.
 FIGURE1_BENCHMARKS = ("BT-MZ", "SP-MZ", "LU-MZ", "EPCC suite", "HERA")
@@ -56,6 +57,8 @@ __all__ = [
     "FIGURE1_BENCHMARKS",
     "benchmark_sources",
     "SCALE_SIZES",
+    "make_project",
     "make_scale_program",
     "scale_suite",
+    "write_project",
 ]

@@ -115,13 +115,18 @@ def measure_overheads(source: str, repeats: int = 3,
     Returns ``{"base": s, "warnings": s, "full": s,
     "warnings_overhead_pct": p, "full_overhead_pct": p}``.
     """
-    best: Dict[str, float] = {}
-    for mode in MODES:
-        times = []
-        for _ in range(max(1, repeats)):
+    times: Dict[str, list] = {mode: [] for mode in MODES}
+    # Round-robin over the modes instead of blocking per mode: a transient
+    # machine-load burst then inflates one *round* of every mode rather
+    # than every repeat of one mode, and the per-mode best-of-N discards
+    # it.  (Blocked order made the derived overhead percentages flappy on
+    # noisy machines — the baseline and the instrumented mode saw
+    # different weather.)
+    for _ in range(max(1, repeats)):
+        for mode in MODES:
             result = compile_source(source, mode, precision)
-            times.append(result.total_time)
-        best[mode] = min(times)
+            times[mode].append(result.total_time)
+    best = {mode: min(series) for mode, series in times.items()}
     best["warnings_overhead_pct"] = overhead_percent(best["base"], best["warnings"])
     best["full_overhead_pct"] = overhead_percent(best["base"], best["full"])
     return best

@@ -170,6 +170,82 @@ def make_calltree_program(depth: int = 16, width: int = 2,
     return "\n\n".join(parts) + "\n"
 
 
+# ---------------------------------------------------------------------------
+# Multi-file projects (the ``parcoach project`` workload)
+# ---------------------------------------------------------------------------
+
+
+def make_project(n_files: int = 100, funcs_per_file: int = 2,
+                 seed: int = 20150207) -> Dict[str, str]:
+    """A deterministic multi-file project with one seeded **cross-file** bug.
+
+    Layout: ``m000.mc`` … defines ``m0_f0`` …, each function calling its
+    same-index peer in the *next* file (half as expression calls), so call
+    chains cross every file boundary; leaf functions run an unconditional
+    ``MPI_Allreduce`` (clean under any context).  ``helpers.mc`` defines
+    ``bug_helper`` — an unconditional ``MPI_Barrier``, clean in isolation —
+    and ``main.mc`` calls it from inside an ``omp parallel`` region.  Only
+    a whole-project analysis sees the bug: per-file, ``main.mc`` cannot
+    resolve ``bug_helper`` (UNKNOWN_FUNC) and ``helpers.mc`` alone is clean
+    under the empty context.  The expected finding is exactly one
+    ``collective-multithreaded`` in ``bug_helper`` with the witness chain
+    ``main → bug_helper`` spanning ``main.mc`` → ``helpers.mc``.
+    """
+    rng = random.Random((seed, n_files, funcs_per_file).__repr__())
+    files: Dict[str, str] = {}
+    for i in range(n_files):
+        parts: List[str] = []
+        last = i == n_files - 1
+        for j in range(funcs_per_file):
+            lines = [f"int m{i}_f{j}(int v) {{"]
+            lines.append("    float acc = 1.0;")
+            lines.append("    float red = 0.0;")
+            lines.append(f"    v += {i + j};")
+            if last:
+                lines.append('    MPI_Allreduce(acc, red, "sum");')
+            else:
+                callee = f"m{i + 1}_f{j}"
+                if (i + j) % 2 == 0:
+                    lines.append(f"    v = {callee}(v);")
+                else:
+                    lines.append(f"    {callee}(v);")
+            if rng.random() < 0.25:
+                lines.append("    acc += 2.0;")
+            lines.append("    return v;")
+            lines.append("}")
+            parts.append("\n".join(lines))
+        files[f"m{i:03d}.mc"] = "\n\n".join(parts) + "\n"
+    files["helpers.mc"] = (
+        "int bug_helper(int v) {\n"
+        "    MPI_Barrier();\n"
+        "    return v + 1;\n"
+        "}\n"
+    )
+    files["main.mc"] = (
+        "void main() {\n"
+        "    MPI_Init_thread(3);\n"
+        "    int x = 0;\n"
+        "    x = m0_f0(x);\n"
+        "    #pragma omp parallel num_threads(2)\n"
+        "    {\n"
+        "        x = bug_helper(x);\n"
+        "    }\n"
+        "    MPI_Finalize();\n"
+        "}\n"
+    )
+    return files
+
+
+def write_project(files: Dict[str, str], root: str) -> None:
+    """Materialize a generated project under ``root``."""
+    import os
+
+    os.makedirs(root, exist_ok=True)
+    for rel, text in files.items():
+        with open(os.path.join(root, rel), "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
 #: The call-tree sweep the interprocedural benchmark charts.
 CALLTREE_SIZES: Dict[str, Dict[str, int]] = {
     "D8": {"depth": 8, "width": 2},

@@ -68,6 +68,23 @@ Subcommands::
     parcoach watch FILE [--interval SECS] [--max-updates N]
         analyze FILE now, then poll it and re-emit a delta report on every
         content change
+    parcoach project analyze DIR [--file PATH ...] [--json] [--no-store]
+        one-shot whole-project analysis: the manifest (``parcoach.toml``,
+        an explicit ``--file`` list, or a recursive ``*.mc``/``*.mini``
+        scan) selects the sources, every file merges into one program, and
+        the interprocedural analysis crosses file boundaries — findings
+        are file-qualified and witness call chains may span files (a bug
+        invisible to per-file ``analyze`` runs).  Warm artifacts are
+        shared with concurrent sessions via the sharded store under
+        ``.parcoach/store``.
+    parcoach project serve DIR [--deadline-ms MS] [--no-store]
+        persistent multi-file incremental session: ``open PATH`` /
+        ``edit PATH`` / ``close PATH`` / ``analyze`` / ``stats`` /
+        ``ping`` / ``quit`` on stdin, one Report IR JSON line per
+        response.  Cross-file edits re-analyze only the edited functions
+        plus their cross-file dependent closure; whole-chunk line moves
+        take the line-offset patch path (zero engine misses).  See
+        ``docs/project-protocol.md``.
     parcoach validate-report [FILE ...]
         validate Report IR documents (``-``/stdin supported; exit 2 on any
         schema or fingerprint violation)
@@ -448,6 +465,65 @@ def _cmd_watch(args) -> int:
                          max_updates=args.max_updates)
 
 
+def _project_session_from_args(args):
+    from .project import ProjectSession
+
+    entry_context = (parse_word(args.initial_context)
+                     if args.initial_context else None)
+    return ProjectSession(
+        args.dir, files=args.file or None, jobs=args.jobs,
+        precision=args.precision, interprocedural=args.interprocedural,
+        entry_context=entry_context,
+        store=False if args.no_store else None)
+
+
+def _cmd_project_analyze(args) -> int:
+    from .core.report import render_json
+    from .core.session import SessionError
+    from .project import ManifestError
+
+    try:
+        with _project_session_from_args(args) as session:
+            session.update_all()
+            report = session.report
+    except (ManifestError, SessionError) as exc:
+        messages = (exc.messages if isinstance(exc, SessionError)
+                    else [str(exc)])
+        for message in messages:
+            print(message, file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report), end="")
+    else:
+        findings = report["findings"]
+        for f in findings:
+            where = f"{f['file']}:{f['function']}"
+            line = f"{where}: [{f['code']}] {f['message']}"
+            if f["call_path"]:
+                chain = " → ".join(
+                    f"{fn} ({file})" for fn, file in
+                    zip(f["call_path"], f["call_path_files"]))
+                line += f"\n  call path: {chain}"
+            print(line)
+        print(f"{len(findings)} finding(s)")
+    return 1 if report["findings"] else 0
+
+
+def _cmd_project_serve(args) -> int:
+    from .core.session import SessionError
+    from .project import ManifestError, run_project_serve
+
+    try:
+        with _project_session_from_args(args) as session:
+            return run_project_serve(session, deadline_ms=args.deadline_ms)
+    except (ManifestError, SessionError) as exc:
+        messages = (exc.messages if isinstance(exc, SessionError)
+                    else [str(exc)])
+        for message in messages:
+            print(message, file=sys.stderr)
+        return 2
+
+
 def _cmd_validate_report(args) -> int:
     from .core.report import _validate_main
 
@@ -682,6 +758,56 @@ def build_parser() -> argparse.ArgumentParser:
                         "interrupted)")
     _session_flags(p)
     p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "project",
+        help="project-scale analysis: merged cross-file call graph, shared "
+             "artifact store, multi-file serve daemon")
+    psub = p.add_subparsers(dest="project_command", required=True)
+
+    def _project_flags(pp) -> None:
+        pp.add_argument("dir", help="project root (parcoach.toml optional)")
+        pp.add_argument("--file", action="append", metavar="PATH",
+                        help="analyze exactly these files (repeatable; "
+                             "overrides the manifest's file set)")
+        pp.add_argument("--no-store", action="store_true",
+                        help="disable the shared on-disk artifact store")
+        _session_flags(pp)
+
+    pp = psub.add_parser(
+        "analyze",
+        help="one-shot whole-project analysis (cross-file witness chains)",
+        description="Merges every project file into one program and runs "
+                    "the interprocedural analysis across file boundaries; "
+                    "findings are file-qualified and carry witness call "
+                    "chains that may span files.  Warm artifacts are shared "
+                    "with any concurrently running 'project serve' via the "
+                    "sharded store under .parcoach/store.")
+    _project_flags(pp)
+    pp.add_argument("--json", action="store_true",
+                    help="emit the versioned Report IR instead of text")
+    pp.set_defaults(fn=_cmd_project_analyze)
+
+    pp = psub.add_parser(
+        "serve",
+        help="persistent multi-file incremental session (line protocol on "
+             "stdin, Report IR JSON lines on stdout)",
+        description="Commands on stdin: 'open PATH' / 'edit PATH' fold one "
+                    "file into the merged project and emit a delta report, "
+                    "'close PATH' drops it, 'analyze' re-reads every "
+                    "project file, 'stats' emits engine + session + project "
+                    "counters, 'ping' / 'quit' as in 'parcoach serve'.  Any "
+                    "command may be prefixed '@ID'.  Whole-chunk moves "
+                    "(a line inserted above a function) take the "
+                    "line-offset patch path: cached artifacts shift in "
+                    "place and the request answers with zero engine "
+                    "misses.  See docs/project-protocol.md.")
+    _project_flags(pp)
+    pp.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                    help="per-request budget: on expiry emit a timeout "
+                         "report, then degrade (retry without the "
+                         "interprocedural plan, then cold recover)")
+    pp.set_defaults(fn=_cmd_project_serve)
 
     p = sub.add_parser(
         "validate-report",

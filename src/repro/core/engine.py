@@ -65,6 +65,7 @@ from .driver import (
     _merge_artifacts,
     build_plan,
 )
+from .diagnostics import SourceRef
 from .monothread import MonothreadResult
 from .sites import (
     CollectiveSite,
@@ -131,6 +132,16 @@ class EngineStats:
     #: Analyze calls that gave up on the pool entirely and degraded to the
     #: serial path after the respawn budget was exhausted.
     degraded_serial: int = 0
+    #: Functions whose cached artifacts were shifted in place by a
+    #: line-offset patch (:meth:`AnalysisEngine.patch_function_lines`)
+    #: instead of being re-analyzed.
+    line_patches: int = 0
+    #: Cache misses satisfied from the shared on-disk artifact store.
+    store_hits: int = 0
+    #: Cache misses that probed the on-disk store and found nothing.
+    store_misses: int = 0
+    #: Artifacts written through to the on-disk store.
+    store_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -158,6 +169,10 @@ class EngineStats:
             "pool_failures": self.pool_failures,
             "pool_respawns": self.pool_respawns,
             "degraded_serial": self.degraded_serial,
+            "line_patches": self.line_patches,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_writes": self.store_writes,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -168,7 +183,8 @@ class EngineStats:
             "programs", "functions", "hits", "misses", "lazy_hits", "remaps",
             "remap_fallbacks", "evictions", "dependency_invalidations",
             "parallel_tasks", "pool_failures", "pool_respawns",
-            "degraded_serial",
+            "degraded_serial", "line_patches", "store_hits", "store_misses",
+            "store_writes",
         ) if f in data}
         return cls(**kwargs)
 
@@ -299,6 +315,21 @@ def _remap_artifacts(entry: _CacheEntry,
     )
 
 
+def _shift_artifact_lines(art: FunctionArtifacts, delta: int) -> None:
+    """Shift every line-addressed field of one function's artifacts in
+    place (the AST itself is shifted separately via ``shift_lines``)."""
+    for site in art.sites:
+        site.line += delta
+    for block in art.cfg:
+        block.line += delta
+    for result in (art.monothread, art.concurrency, art.sequence):
+        for diag in result.diagnostics:
+            diag.collectives = tuple(
+                SourceRef(ref.name, ref.line + delta)
+                for ref in diag.collectives)
+            diag.conditionals = tuple(c + delta for c in diag.conditionals)
+
+
 @dataclass
 class _PendingRemap:
     """A reparse cache hit whose per-uid remap has not been materialized.
@@ -409,10 +440,17 @@ class AnalysisEngine:
     POOL_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
 
     def __init__(self, jobs: int = 1, cache: bool = True,
-                 task_timeout: Optional[float] = None) -> None:
+                 task_timeout: Optional[float] = None,
+                 store=None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache_enabled = bool(cache)
         self.task_timeout = task_timeout
+        #: Optional shared on-disk artifact store (duck-typed:
+        #: ``load(key) -> (FunctionArtifacts, uid_at_pos) | None`` and
+        #: ``save(key, artifacts, uid_at_pos)``, see
+        #: :class:`repro.project.store.ShardedStore`).  In-memory misses
+        #: probe it; fresh analyses write through.
+        self.store = store
         #: Injectable backoff sleep (tests replace it to run instantly).
         self._sleep = time.sleep
         self.stats = EngineStats()
@@ -484,6 +522,68 @@ class AnalysisEngine:
         info = self.stats.as_dict()
         info["entries"] = len(self._cache)
         return info
+
+    def _load_from_store(self, key: _Key) -> Optional[_CacheEntry]:
+        """Probe the shared on-disk store for ``key``; a hit is promoted
+        into the in-memory cache (anchored on the unpickled tree)."""
+        try:
+            payload = self.store.load(key)
+        except Exception:
+            payload = None  # a corrupt/racing shard read is just a miss
+        if payload is None:
+            self.stats.store_misses += 1
+            return None
+        art, uid_at_pos = payload
+        self.stats.store_hits += 1
+        entry = _CacheEntry(artifacts=art, version=_version(art.func),
+                            key=key, uid_at_pos=tuple(uid_at_pos))
+        self._cache[key] = entry
+        return entry
+
+    # -- line-offset patching --------------------------------------------------
+
+    def patch_function_lines(self, func: A.FuncDef, delta: int) -> int:
+        """Shift ``func`` (in place) and every cached artifact of it by
+        ``delta`` source lines, re-keying the content-addressed store to the
+        shifted fingerprint.  Returns the number of re-keyed cache entries.
+
+        This is the line-offset patch pass: an edit that only moves a
+        function down/up (a line inserted or deleted *above* it) changes
+        nothing but line numbers, yet fingerprints are line-sensitive — so
+        without this pass the function would re-analyze from scratch.
+        Instead the AST is shifted in place (uids and ``structure_version``
+        untouched, so every uid-keyed map and program memo stays valid) and
+        all line-addressed artifact state — collective sites, CFG block
+        lines, diagnostic source refs and conditional lines — is shifted in
+        lock-step.  The on-disk store is *not* patched: its entries stay
+        content-addressed to the lines they were analyzed at."""
+        if delta == 0:
+            return 0
+        old_fp = self._fingerprint_for(func)
+        A.shift_lines(func, delta)
+        new_fp = ast_fingerprint(func)
+        self._identity[id(func)] = (func, _version(func), new_fp)
+        patched_trees = {id(func)}
+        patched_arts: set = set()
+        moved = 0
+        for key in [k for k in self._cache if k[0] == old_fp]:
+            entry = self._cache.pop(key)
+            art = entry.artifacts
+            if id(art) not in patched_arts:
+                patched_arts.add(id(art))
+                if id(art.func) not in patched_trees:
+                    # Cached tree from an earlier parse: shift it too, so
+                    # the entry's fingerprint keeps describing its tree.
+                    patched_trees.add(id(art.func))
+                    A.shift_lines(art.func, delta)
+                    self._identity.pop(id(art.func), None)
+                _shift_artifact_lines(art, delta)
+            new_key: _Key = (new_fp,) + key[1:]
+            entry.key = new_key
+            self._cache[new_key] = entry
+            moved += 1
+        self.stats.line_patches += 1
+        return moved
 
     # -- analysis --------------------------------------------------------------
 
@@ -624,6 +724,19 @@ class AnalysisEngine:
                 if entry is not None:
                     # Stale: the cached AST was mutated after analysis.
                     del self._cache[key]
+                if self.store is not None:
+                    entry = self._load_from_store(key)
+                    if entry is not None:
+                        # A disk hit is a reparse hit anchored on the
+                        # unpickled tree: same lazy-remap path as a warm
+                        # in-memory reparse.
+                        self.stats.hits += 1
+                        self.stats.lazy_hits += 1
+                        record.lazy.append(func.name)
+                        artifacts[(func.name, word)] = _PendingRemap(
+                            entry=entry, func=func, word=word,
+                            call_stmts=call_stmts, extra=extra)
+                        continue
                 self.stats.misses += 1
                 record.missed.append((func.name, word))
                 pending.append((func, key, word, call_stmts, prebuilt, extra))
@@ -764,3 +877,9 @@ class AnalysisEngine:
                 self._cache[key] = _CacheEntry(
                     artifacts=art, version=_version(art.func), key=key,
                     uid_at_pos=seq)
+                if self.store is not None:
+                    try:
+                        self.store.save(key, art, seq)
+                        self.stats.store_writes += 1
+                    except Exception:
+                        pass  # a full/readonly shard must not fail analysis

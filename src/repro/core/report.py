@@ -342,7 +342,7 @@ def validate_report(report: Any) -> List[str]:
         problems.append(f"version must be {REPORT_VERSION}")
     tool = report.get("tool")
     if tool not in ("analyze", "callgraph", "explore", "fuzz", "serve",
-                    "watch", "batch"):
+                    "watch", "batch", "project"):
         problems.append(f"unknown tool {tool!r}")
     verdict = report.get("verdict")
     if verdict not in ("clean", "findings", "error"):
@@ -359,7 +359,7 @@ def validate_report(report: Any) -> List[str]:
     summary = report.get("summary")
     incremental = (summary.get("incremental")
                    if isinstance(summary, dict) else None)
-    if tool in ("serve", "watch") and isinstance(incremental, dict):
+    if tool in ("serve", "watch", "project") and isinstance(incremental, dict):
         # Delta documents list only the findings that *appeared*; the
         # verdict tracks the total live findings instead.
         total = incremental.get("findings_total", 0)

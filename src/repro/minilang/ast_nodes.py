@@ -318,3 +318,20 @@ def ast_equal(a: object, b: object) -> bool:
 def collect(node: Node, node_type: type) -> List[Node]:
     """All descendants of ``node`` (inclusive) that are instances of ``node_type``."""
     return [n for n in node.walk() if isinstance(n, node_type)]
+
+
+def shift_lines(node: Node, delta: int) -> None:
+    """Shift the ``line`` of ``node`` and every descendant by ``delta``.
+
+    The one sanctioned whole-subtree position edit: a source edit that moves
+    a function down or up without touching its text (a line inserted above
+    it) produces exactly this transformation of the re-parsed tree.  Uids
+    and structure are untouched, so every uid-keyed artifact map stays
+    valid; only consumers of line-addressed state (diagnostics, collective
+    sites, CFG block lines) need patching, which
+    :meth:`repro.core.engine.AnalysisEngine.patch_function_lines` does in
+    lock-step with re-keying the content-addressed store."""
+    if delta == 0:
+        return
+    for n in node.walk():
+        n.line += delta

@@ -1,0 +1,31 @@
+"""Project-scale analysis service — ``parcoach project``.
+
+Lifts the single-file :class:`~repro.core.session.AnalysisSession` to a
+whole project: a manifest (``parcoach.toml`` or an explicit file list)
+declares the source files and entry points, a :class:`ProjectSession` folds
+every file into **one merged program** fed to one shared
+:class:`~repro.core.engine.AnalysisEngine`, so the cross-file call graph,
+calling-context propagation and collective summaries fall out of the
+existing interprocedural machinery — witness call chains span file
+boundaries.  Insert-a-line edits take the **line-offset patch** path
+(:meth:`~repro.core.engine.AnalysisEngine.patch_function_lines`): cached
+line-addressed artifacts are shifted instead of re-analyzed.  Artifacts are
+shared between parallel sessions through a sharded on-disk store
+(:class:`~repro.project.store.ShardedStore`).  Protocol and manifest
+format: ``docs/project-protocol.md``.
+"""
+
+from .manifest import MANIFEST_NAME, ManifestError, ProjectManifest, load_manifest
+from .session import ProjectSession, ProjectUpdate, run_project_serve
+from .store import ShardedStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ManifestError",
+    "ProjectManifest",
+    "ProjectSession",
+    "ProjectUpdate",
+    "ShardedStore",
+    "load_manifest",
+    "run_project_serve",
+]

@@ -1,0 +1,896 @@
+"""The multi-file incremental session — ``parcoach project serve``.
+
+A :class:`ProjectSession` lifts :class:`~repro.core.session.AnalysisSession`
+from one file to a project.  Every open file contributes its functions to
+**one merged program** fed to one shared engine, so the call graph,
+calling-context propagation and collective summaries are cross-file by
+construction: a rank-guarded collective in ``helper()`` defined in
+``util.mc`` is flagged at the call in ``main.mc`` with a witness chain
+spanning both files — exactly the finding a per-file ``parcoach analyze``
+of either file cannot produce.
+
+Incrementality mirrors the single-file session (chunk reuse, fingerprint
+diff, reverse-call-graph dependent closure, SCC-skipping summaries) with
+two project-only additions:
+
+* **Line-offset patching** — a chunk whose text is unchanged but whose
+  start line moved (a line inserted/deleted above it) is *patched*, not
+  re-parsed: the cached AST and every line-addressed artifact are shifted
+  in place and the content-addressed store is re-keyed
+  (:meth:`~repro.core.engine.AnalysisEngine.patch_function_lines`).  A
+  whitespace/comment line inserted between functions re-answers with zero
+  engine misses.
+
+* **Shared sharded store** — cache misses probe (and fresh analyses write
+  through to) a per-project on-disk store
+  (:class:`~repro.project.store.ShardedStore`), so parallel sessions on one
+  machine share warm artifacts.
+
+Findings are file-qualified: every finding carries the defining ``file`` of
+its function plus ``call_path_files`` aligned with the witness chain, and
+the finding fingerprint covers both.  Protocol details:
+``docs/project-protocol.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..minilang import ast_nodes as A
+from ..minilang.semantics import Checker
+from ..parallelism import EMPTY, Word, parse_word
+from ..util.faultinject import fault_site
+from ..util.resilience import Deadline, DeadlineExceeded, Failure
+from ..core.callgraph import (
+    FunctionSummary,
+    build_call_graph,
+    collective_summaries,
+    propagate_contexts,
+)
+from ..core.driver import build_plan
+from ..core.engine import AnalysisEngine
+from ..core.report import (
+    build_report,
+    finding_fingerprint,
+    render_json,
+    report_from_analysis,
+)
+from ..core.session import SessionError, _parse_chunk, split_chunks
+from ..core.sites import index_program
+from .manifest import ManifestError, ProjectManifest, load_manifest
+from .store import ShardedStore
+
+
+@dataclass
+class ProjectUpdate:
+    """The delta produced by one project update (open/edit/close/analyze)."""
+
+    #: Relative paths read from disk for this update.
+    files: Tuple[str, ...]
+    #: Monotonic project update counter (1 = first analysis).
+    seq: int
+    no_op: bool
+    #: True when any read file fell back to a full parse.
+    full_parse: bool
+    #: Function names whose fingerprint moved or appeared.
+    changed: Tuple[str, ...]
+    #: Function names that disappeared.
+    removed: Tuple[str, ...]
+    #: Functions served by the line-offset patch pass (shifted, not
+    #: re-parsed, not re-analyzed).
+    patched: Tuple[str, ...]
+    #: Reverse-call-graph closure of changed ∪ removed, minus the seeds —
+    #: crosses file boundaries.
+    dependents: Tuple[str, ...]
+    #: Functions the engine actually re-analyzed.
+    reanalyzed: Tuple[str, ...]
+    invalidated_entries: int
+    findings_added: Tuple[dict, ...]
+    findings_removed: Tuple[str, ...]
+    findings_total: int
+    #: Project-flavoured Report IR document for this delta.
+    report: dict = field(repr=False, default_factory=dict)
+
+
+@dataclass
+class _ProjectFile:
+    """Per-file state inside the merged project."""
+
+    rel: str
+    source: str
+    funcs: List[A.FuncDef]
+    #: (sha256(text), start_line) -> FuncDef; None = chunking disabled for
+    #: this file, every update of it full-parses.
+    chunks: Optional[Dict[Tuple[str, int], A.FuncDef]]
+
+
+@dataclass
+class _ParsedFile:
+    """One file's parse result, before it is committed to the session."""
+
+    rel: str
+    source: str
+    funcs: List[A.FuncDef]
+    chunks: Optional[Dict[Tuple[str, int], A.FuncDef]]
+    #: (func, line delta) pairs to patch — applied only after the merged
+    #: program passes the semantic check, so a rejected update mutates
+    #: nothing.
+    patches: List[Tuple[A.FuncDef, int]]
+    full_parse: bool
+    changed_text: bool
+
+
+class ProjectSession:
+    """A long-lived incremental session over every file of one project.
+
+    ``update_file`` / ``close_file`` / ``update_all`` are the API: each
+    folds the current on-disk text into the merged program and returns a
+    :class:`ProjectUpdate`.  Construction resolves the manifest
+    (``parcoach.toml`` or an explicit file list) but reads no sources; the
+    first update does.
+    """
+
+    MAX_FAILURES = 8
+
+    def __init__(self, root: str, files: Optional[List[str]] = None,
+                 jobs: int = 1, precision: str = "paper",
+                 interprocedural: bool = True,
+                 entry_context: Optional[Word] = None,
+                 store: Optional[bool] = None) -> None:
+        self.manifest: ProjectManifest = load_manifest(root, files)
+        self.jobs = jobs
+        self.precision = precision
+        self.interprocedural = interprocedural
+        if entry_context is None:
+            entry_context = (parse_word(self.manifest.initial_context)
+                             if self.manifest.initial_context else EMPTY)
+        self.entry_context = entry_context
+        use_store = (self.manifest.store_path is not None
+                     if store is None else store)
+        self.store: Optional[ShardedStore] = (
+            ShardedStore(self.manifest.store_path)
+            if use_store and self.manifest.store_path is not None else None)
+        self.engine = AnalysisEngine(jobs=jobs, store=self.store)
+
+        self.updates = 0
+        self.no_op_updates = 0
+        self.recoveries = 0
+        self.rebuilds = 0
+        self.timeouts = 0
+        self.degraded = 0
+        self.failures: List[Failure] = []
+
+        #: rel -> True for files that *should* be loaded (opened, not
+        #: closed).  Files in here but missing from ``_files`` (after a
+        #: recover/rebuild self-heal) are re-read by the next update.
+        self._open: Dict[str, bool] = {}
+        self._files: Dict[str, _ProjectFile] = {}
+        self._program: Optional[A.Program] = None
+        self._fingerprints: Dict[str, str] = {}
+        self._func_file: Dict[str, str] = {}
+        self._callers: Dict[str, Tuple[str, ...]] = {}
+        self._summaries: Optional[Dict[str, FunctionSummary]] = None
+        self._signatures: Optional[Dict[str, tuple]] = None
+        #: finding fingerprint -> finding of the current version.
+        self._findings: Dict[str, dict] = {}
+        #: Full project-flavoured Report IR of the current version.
+        self.report: Optional[dict] = None
+        self.seq = 0
+        self._checked: Dict[int, A.FuncDef] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "ProjectSession":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine.cache_info(),
+            "session": {
+                "files": len(self._files),
+                "updates": self.updates,
+                "no_op_updates": self.no_op_updates,
+                "recoveries": self.recoveries,
+                "rebuilds": self.rebuilds,
+                "timeouts": self.timeouts,
+                "degraded": self.degraded,
+                "failures": [f.as_dict() for f in self.failures],
+            },
+            "project": {
+                "root": self.manifest.root,
+                "manifest_files": len(self.manifest.files),
+                "open_files": sorted(self._open),
+                "functions": len(self._fingerprints),
+                "store": ({"path": self.store.root,
+                           "entries": self.store.entries()}
+                          if self.store is not None else None),
+            },
+        }
+
+    # -- self-healing --------------------------------------------------------
+
+    def record_failure(self, site: str, exc: BaseException,
+                       attempt: int = 1) -> Failure:
+        failure = Failure.from_exception(site, attempt, exc)
+        self.failures.append(failure)
+        del self.failures[:-self.MAX_FAILURES]
+        return failure
+
+    def recover_file(self, rel: str) -> None:
+        """Targeted self-heal: forget one file's state and evict its
+        functions' artifacts.  It stays *open*, so the next update re-reads
+        it cold; every other file's warm state survives."""
+        state = self._files.pop(rel, None)
+        if state is not None:
+            doomed = {self._fingerprints[f.name] for f in state.funcs
+                      if f.name in self._fingerprints}
+            self.engine.invalidate_fingerprints(doomed)
+
+    def rebuild(self) -> None:
+        """Last-resort self-heal: fresh engine (still store-backed), no
+        per-file state.  Open files are re-read by the next update."""
+        try:
+            self.engine.close()
+        except Exception:
+            pass  # a wedged pool must not block the rebuild
+        self.engine = AnalysisEngine(jobs=self.jobs, store=self.store)
+        self._files.clear()
+        self._checked.clear()
+        self._program = None
+        self._fingerprints = {}
+        self._func_file = {}
+        self._callers = {}
+        self._summaries = None
+        self._signatures = None
+
+    # -- per-file parsing ----------------------------------------------------
+
+    def _read(self, rel: str) -> str:
+        path = self.manifest.abspath(rel)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            return fault_site("session.read_file", source)
+        except OSError as exc:
+            raise SessionError(rel, [str(exc)]) from exc
+
+    def _parse_file(self, rel: str, source: str) -> _ParsedFile:
+        """Split ``rel``'s text into chunks and classify each against the
+        previous version: identical (reuse the ``FuncDef`` object), shifted
+        (same text at a new start line — queue a line-offset patch), or
+        edited (re-parse).  Any anomaly falls back to a full parse."""
+        prev = self._files.get(rel)
+        if prev is not None and prev.source == source:
+            return _ParsedFile(rel=rel, source=source, funcs=prev.funcs,
+                               chunks=prev.chunks, patches=[],
+                               full_parse=False, changed_text=False)
+        chunks = split_chunks(source)
+        if chunks is None:
+            return self._full_parse_file(rel, source)
+        #: digest -> previous (start_line, func) candidates for patching.
+        movable: Dict[str, List[Tuple[int, A.FuncDef]]] = {}
+        if prev is not None and prev.chunks is not None:
+            for (digest, line), func in prev.chunks.items():
+                movable.setdefault(digest, []).append((line, func))
+        funcs: List[A.FuncDef] = []
+        chunk_map: Dict[Tuple[str, int], A.FuncDef] = {}
+        patches: List[Tuple[A.FuncDef, int]] = []
+        for chunk in chunks:
+            digest, start_line = chunk.key
+            func = None
+            for i, (old_line, candidate) in enumerate(movable.get(digest, ())):
+                if old_line == start_line:
+                    func = candidate  # identical chunk: plain reuse
+                    del movable[digest][i]
+                    break
+            else:
+                candidates = movable.get(digest)
+                if candidates:
+                    old_line, func = candidates.pop(0)
+                    patches.append((func, start_line - old_line))
+            if func is None:
+                func = _parse_chunk(chunk, rel)
+                if func is None:
+                    return self._full_parse_file(rel, source)
+            funcs.append(func)
+            chunk_map[(digest, start_line)] = func
+        return _ParsedFile(rel=rel, source=source, funcs=funcs,
+                           chunks=chunk_map, patches=patches,
+                           full_parse=False, changed_text=True)
+
+    def _full_parse_file(self, rel: str, source: str) -> _ParsedFile:
+        from ..minilang.parser import parse_program
+
+        try:
+            program = parse_program(source, rel)
+        except Exception as exc:
+            raise SessionError(rel, [str(exc)]) from exc
+        return _ParsedFile(rel=rel, source=source, funcs=list(program.funcs),
+                           chunks=None, patches=[], full_parse=True,
+                           changed_text=True)
+
+    # -- semantic checking ---------------------------------------------------
+
+    @staticmethod
+    def _signature_map(funcs: List[A.FuncDef]) -> Dict[str, tuple]:
+        return {f.name: (f.ret_type, len(f.params)) for f in funcs}
+
+    def _check(self, program: A.Program,
+               file_of: List[str]) -> None:
+        """Cross-file semantic check, incremental while the *global*
+        signature map is stable: calls in file B resolve against functions
+        defined in file A, so editing a helper's signature re-checks its
+        textually unchanged callers in every file.  Issues are prefixed
+        with the defining file (``file_of`` aligns with ``program.funcs``)."""
+        seen: Dict[str, str] = {}
+        duplicates: List[str] = []
+        for func, rel in zip(program.funcs, file_of):
+            other = seen.get(func.name)
+            if other is not None:
+                duplicates.append(
+                    f"duplicate function {func.name!r} defined in {other} "
+                    f"and {rel}")
+            else:
+                seen[func.name] = rel
+        if duplicates:
+            raise SessionError("<project>", duplicates)
+
+        rel_by_id = {id(f): rel for f, rel in zip(program.funcs, file_of)}
+        sigs = self._signature_map(program.funcs)
+        if self._signatures == sigs:
+            unchecked = [f for f in program.funcs
+                         if self._checked.get(id(f)) is not f]
+        else:
+            unchecked = list(program.funcs)
+        checker = Checker(program)
+        errors: List[str] = []
+        for func in unchecked:
+            before = len(checker.issues)
+            checker._check_func(func)
+            errors.extend(
+                f"{rel_by_id[id(func)]}:{issue}"
+                for issue in checker.issues[before:]
+                if issue.severity == "error")
+        if errors:
+            raise SessionError("<project>", errors)
+        for func in unchecked:
+            self._checked[id(func)] = func
+        while len(self._checked) > 65536:
+            self._checked.pop(next(iter(self._checked)))
+        self._signatures = sigs
+
+    # -- updates -------------------------------------------------------------
+
+    def update_file(self, rel: str, deadline: Optional[Deadline] = None,
+                    interprocedural: Optional[bool] = None) -> ProjectUpdate:
+        """(Re-)read one file from disk and fold it into the project."""
+        if rel not in self._open:
+            self._open[rel] = True
+        return self._update({rel}, set(), deadline, interprocedural)
+
+    def close_file(self, rel: str, deadline: Optional[Deadline] = None,
+                   interprocedural: Optional[bool] = None) -> ProjectUpdate:
+        """Drop one file from the project (its functions disappear; their
+        cross-file callers re-check and re-analyze)."""
+        if rel not in self._open and rel not in self._files:
+            raise SessionError(rel, [f"{rel} is not open"])
+        # pop, not del: a self-heal retry of a half-finished close must not
+        # trip over the first attempt having already removed the entry.
+        self._open.pop(rel, None)
+        return self._update(set(), {rel}, deadline, interprocedural)
+
+    def rename_file(self, old: str, new: str,
+                    deadline: Optional[Deadline] = None,
+                    interprocedural: Optional[bool] = None) -> ProjectUpdate:
+        """Atomic rename: fold ``new`` in and drop ``old`` in one update.
+
+        Neither step is expressible alone when other files call the moved
+        functions — closing ``old`` first leaves unknown callees, opening
+        ``new`` first defines duplicates.  Equal text at equal lines keeps
+        the structural fingerprints, so nothing re-analyzes; findings are
+        re-qualified to the new file (their fingerprints move with it)."""
+        if old not in self._open and old not in self._files:
+            raise SessionError(old, [f"{old} is not open"])
+        self._open.pop(old, None)
+        self._open[new] = True
+        return self._update({new}, {old}, deadline, interprocedural)
+
+    def update_all(self, deadline: Optional[Deadline] = None,
+                   interprocedural: Optional[bool] = None) -> ProjectUpdate:
+        """(Re-)read every project file (the manifest set on first use,
+        the open set afterwards)."""
+        if not self._open:
+            for rel in self.manifest.files:
+                self._open[rel] = True
+        return self._update(set(self._open), set(), deadline,
+                            interprocedural)
+
+    def _update(self, reads: Set[str], closed: Set[str],
+                deadline: Optional[Deadline],
+                interprocedural: Optional[bool]) -> ProjectUpdate:
+        interproc = (self.interprocedural if interprocedural is None
+                     else interprocedural)
+        self.updates += 1
+        # Self-heal hook: open files whose state vanished (recover_file /
+        # rebuild) are re-read alongside the requested ones.
+        reads = set(reads) | {rel for rel in self._open
+                              if rel not in self._files}
+        parsed: Dict[str, _ParsedFile] = {}
+        for rel in sorted(reads):
+            parsed[rel] = self._parse_file(rel, self._read(rel))
+        if deadline is not None:
+            deadline.check("session.parse")
+        return self._refresh(parsed, closed, deadline, interproc)
+
+    def _refresh(self, parsed: Dict[str, _ParsedFile], closed: Set[str],
+                 deadline: Optional[Deadline],
+                 interproc: bool) -> ProjectUpdate:
+        prev_program = self._program
+        had_state = prev_program is not None
+
+        no_text_change = (had_state and not closed
+                          and all(not p.changed_text for p in parsed.values()))
+        if no_text_change:
+            self.seq += 1
+            self.no_op_updates += 1
+            delta = self._make_update(tuple(sorted(parsed)), no_op=True,
+                                      full_parse=False)
+            return delta
+
+        # Merged program: functions of every open file, in sorted-path
+        # file order (deterministic regardless of open order).
+        file_funcs: Dict[str, List[A.FuncDef]] = {}
+        for rel in self._open:
+            if rel in closed:
+                continue
+            if rel in parsed:
+                p = parsed[rel]
+                file_funcs[rel] = p.funcs
+            else:
+                file_funcs[rel] = self._files[rel].funcs
+        order = sorted(file_funcs)
+        funcs: List[A.FuncDef] = []
+        file_of: List[str] = []
+        func_file: Dict[str, str] = {}
+        for rel in order:
+            for func in file_funcs[rel]:
+                funcs.append(func)
+                file_of.append(rel)
+                func_file.setdefault(func.name, rel)
+        if (prev_program is not None
+                and len(prev_program.funcs) == len(funcs)
+                and all(a is b for a, b in zip(prev_program.funcs, funcs))):
+            program = prev_program  # keep the engine's program memo warm
+        else:
+            program = A.Program(funcs=funcs,
+                                filename=f"<project:{self.manifest.root}>",
+                                line=1)
+        self._check(program, file_of)
+
+        # Commit point: the update is semantically valid.  Apply the
+        # queued line-offset patches (AST + cached artifacts + store keys
+        # shift together; zero re-analysis).
+        patched: List[str] = []
+        for p in parsed.values():
+            for func, delta_lines in p.patches:
+                fault_site("project.patch", func.name)
+                self.engine.patch_function_lines(func, delta_lines)
+                patched.append(func.name)
+
+        fingerprints = {f.name: self.engine._fingerprint_for(f)
+                        for f in program.funcs}
+        prev_fps = dict(self._fingerprints)
+        for name in patched:
+            # A patched function's fingerprint moved with its lines, but
+            # the store moved with it — it is not an edit.
+            prev_fps[name] = fingerprints[name]
+        changed = tuple(n for n in fingerprints
+                        if fingerprints[n] != prev_fps.get(n))
+        removed = tuple(n for n in prev_fps if n not in fingerprints)
+
+        if (had_state and not changed and not removed and not patched
+                and func_file == self._func_file):
+            # Whitespace/comment-only edits inside chunks: nothing moved.
+            # (A rename keeps every fingerprint but changes func_file — it
+            # must fall through so findings re-qualify to the new file.)
+            self._commit_files(parsed, closed)
+            self.seq += 1
+            self.no_op_updates += 1
+            return self._make_update(tuple(sorted(parsed)), no_op=True,
+                                     full_parse=any(p.full_parse
+                                                    for p in parsed.values()))
+
+        # Cross-file dependency closure over reverse call edges of both
+        # versions (callers of deleted functions and new callers count).
+        dirty: Set[str] = set(changed) | set(removed)
+        index = index_program(program, memo=self.engine._func_index)
+        graph = build_call_graph(program, index)
+        callers: Dict[str, Tuple[str, ...]] = {
+            name: tuple(e.caller for e in graph.callers[name])
+            for name in graph.order
+        }
+        merged_callers: Dict[str, Set[str]] = {}
+        for source_map in (self._callers, callers):
+            for name, who in source_map.items():
+                merged_callers.setdefault(name, set()).update(who)
+        dependents: List[str] = []
+        work = list(dirty)
+        seen = set(dirty)
+        while work:
+            name = work.pop()
+            for caller in sorted(merged_callers.get(name, ())):
+                if caller not in seen:
+                    seen.add(caller)
+                    dependents.append(caller)
+                    work.append(caller)
+        dependents_t = tuple(d for d in dependents if d in fingerprints)
+
+        doomed = {prev_fps[n] for n in dirty if n in prev_fps}
+        invalidated = self.engine.invalidate_fingerprints(doomed)
+
+        plan = None
+        initial_words: Dict[str, Word] = {}
+        if interproc:
+            seeds = {e: self.entry_context for e in self.manifest.entries
+                     if e in fingerprints}
+            contexts = propagate_contexts(program, graph, seeds=seeds,
+                                          entry_context=self.entry_context)
+            summaries = collective_summaries(
+                program, graph, index,
+                prev=self._summaries, dirty=set(changed))
+            plan = build_plan(program, index,
+                              entry_context=self.entry_context,
+                              graph=graph, contexts=contexts,
+                              summaries=summaries)
+        else:
+            summaries = None
+            if self.entry_context:
+                initial_words = {f.name: self.entry_context
+                                 for f in program.funcs}
+        if deadline is not None:
+            deadline.check("session.plan")
+
+        fault_site("session.analyze")
+        analysis = self.engine.analyze(
+            program, initial_words=initial_words, precision=self.precision,
+            interprocedural=interproc, entry_context=self.entry_context,
+            plan=plan, deadline=deadline)
+        record = self.engine.last
+        reanalyzed = record.missed_functions
+        dep_reanalyzed = [n for n in reanalyzed if n not in dirty]
+        self.engine.stats.dependency_invalidations += len(dep_reanalyzed)
+
+        if deadline is not None:
+            deadline.check("session.render")
+        report = report_from_analysis(analysis, source_path=None,
+                                      source_text=None, tool="project")
+        report["source"] = {"file": self.manifest.root}
+        _qualify_findings(report["findings"], func_file)
+        new_findings = {f["fingerprint"]: f for f in report["findings"]}
+
+        # Commit.
+        self._commit_files(parsed, closed)
+        self._program = program
+        self._fingerprints = fingerprints
+        self._func_file = func_file
+        self._callers = callers
+        self._summaries = summaries
+        old_findings = self._findings
+        added = tuple(f for fp, f in new_findings.items()
+                      if fp not in old_findings)
+        gone = tuple(fp for fp in old_findings if fp not in new_findings)
+        self._findings = new_findings
+        self.report = report
+        self.seq += 1
+
+        return self._make_update(
+            tuple(sorted(parsed)), no_op=False,
+            full_parse=any(p.full_parse for p in parsed.values()),
+            changed=changed, removed=removed, patched=tuple(patched),
+            dependents=dependents_t, reanalyzed=reanalyzed,
+            invalidated=invalidated, added=added, gone=gone)
+
+    def _commit_files(self, parsed: Dict[str, _ParsedFile],
+                      closed: Set[str]) -> None:
+        for rel in closed:
+            self._files.pop(rel, None)
+        for rel, p in parsed.items():
+            self._files[rel] = _ProjectFile(rel=rel, source=p.source,
+                                            funcs=p.funcs, chunks=p.chunks)
+
+    def _make_update(self, files: Tuple[str, ...], no_op: bool,
+                     full_parse: bool,
+                     changed: Tuple[str, ...] = (),
+                     removed: Tuple[str, ...] = (),
+                     patched: Tuple[str, ...] = (),
+                     dependents: Tuple[str, ...] = (),
+                     reanalyzed: Tuple[str, ...] = (),
+                     invalidated: int = 0,
+                     added: Tuple[dict, ...] = (),
+                     gone: Tuple[str, ...] = ()) -> ProjectUpdate:
+        delta = ProjectUpdate(
+            files=files, seq=self.seq, no_op=no_op, full_parse=full_parse,
+            changed=changed, removed=removed, patched=patched,
+            dependents=dependents, reanalyzed=reanalyzed,
+            invalidated_entries=invalidated, findings_added=added,
+            findings_removed=gone, findings_total=len(self._findings),
+        )
+        delta.report = build_report(
+            "project",
+            source={"file": self.manifest.root},
+            findings=list(delta.findings_added),
+            verdict="findings" if delta.findings_total else "clean",
+            summary={
+                "update": delta.seq,
+                "incremental": {
+                    "no_op": delta.no_op,
+                    "full_parse": delta.full_parse,
+                    "files": list(delta.files),
+                    "changed": list(delta.changed),
+                    "removed": list(delta.removed),
+                    "patched": list(delta.patched),
+                    "dependents": list(delta.dependents),
+                    "reanalyzed": list(delta.reanalyzed),
+                    "invalidated_entries": delta.invalidated_entries,
+                    "findings_added": len(delta.findings_added),
+                    "findings_removed": list(delta.findings_removed),
+                    "findings_total": delta.findings_total,
+                },
+            },
+        )
+        return delta
+
+
+def _qualify_findings(findings: List[dict],
+                      func_file: Dict[str, str]) -> None:
+    """File-qualify findings in place: the defining file of the finding's
+    function, the files along the witness call chain, and a fingerprint
+    recomputed over both (so the same diagnostic in two files can never
+    collide)."""
+    for finding in findings:
+        finding["file"] = func_file.get(finding.get("function", ""), "")
+        chain = finding.get("call_path", [])
+        finding["call_path_files"] = [func_file.get(n, "") for n in chain]
+        del finding["fingerprint"]
+        finding["fingerprint"] = finding_fingerprint(finding)
+
+
+# ---------------------------------------------------------------------------
+# serve front end
+# ---------------------------------------------------------------------------
+
+
+def _error_report(root: str, path: Optional[str],
+                  messages: List[str]) -> dict:
+    return build_report("project", source={"file": path or root},
+                        findings=[], verdict="error",
+                        summary={"errors": list(messages)})
+
+
+def _timeout_report(root: str, exc: DeadlineExceeded,
+                    deadline_ms: float) -> dict:
+    return build_report(
+        "project", source={"file": root}, findings=[], verdict="error",
+        summary={
+            "errors": [str(exc)],
+            "timeout": {
+                "deadline_ms": deadline_ms,
+                "site": exc.site,
+                "elapsed_ms": round(exc.elapsed * 1000.0, 1),
+            },
+        })
+
+
+def _internal_error_report(root: str, failure: Failure,
+                           request: str) -> dict:
+    return build_report(
+        "project", source={"file": root}, findings=[], verdict="error",
+        summary={
+            "errors": [f"internal error: {failure.error_type}: "
+                       f"{failure.message}"],
+            "failure": failure.as_dict(),
+            "request": request,
+        })
+
+
+def run_project_serve(session: ProjectSession, stdin=None, stdout=None,
+                      deadline_ms: Optional[float] = None,
+                      clock=time.monotonic) -> int:
+    """The ``parcoach project serve`` loop — same line protocol and
+    resilience contract as ``parcoach serve``, at project scope.
+
+    Commands (any may be prefixed ``@ID``; the id is echoed back as
+    ``request_id``)::
+
+        open REL       (re)read REL (relative to the project root), fold it
+                       into the merged program, emit the delta report
+        edit REL       alias of open (an editor's didChange)
+        close REL      drop REL from the project, emit the delta report
+        rename OLD NEW atomic move: fold NEW in and drop OLD in one update
+                       (fingerprints survive; findings re-qualify to NEW)
+        analyze        (re)read every project file, emit the delta report
+        stats          engine + session + project counters
+        ping           liveness (never analyzes)
+        quit           exit 0 (EOF does the same)
+
+    Crash isolation, the self-heal ladder (recover the offending file →
+    rebuild the session → internal-error report) and the ``deadline_ms``
+    degradation ladder (timeout report → no-interprocedural retry → cold
+    recover) mirror :func:`repro.core.session.run_serve`."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    root = session.manifest.root
+
+    def respond(doc: dict, request_id: Optional[str]) -> None:
+        if request_id is not None:
+            doc = dict(doc)
+            doc["request_id"] = request_id
+        payload = render_json(doc)
+        try:
+            written = fault_site("serve.emit", payload)
+            if written != payload:
+                raise OSError("short write on response stream")
+            stdout.write(payload)
+            stdout.flush()
+            return
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            session.record_failure("serve.emit", exc)
+            session.recoveries += 1
+        stdout.write(payload)
+        stdout.flush()
+
+    def run_update(rel: Optional[str], deadline: Optional[Deadline],
+                   interprocedural: Optional[bool] = None,
+                   closing: bool = False,
+                   rename_to: Optional[str] = None) -> ProjectUpdate:
+        if rename_to is not None:
+            return session.rename_file(rel, rename_to, deadline=deadline,
+                                       interprocedural=interprocedural)
+        if closing:
+            return session.close_file(rel, deadline=deadline,
+                                      interprocedural=interprocedural)
+        if rel is None:
+            return session.update_all(deadline=deadline,
+                                      interprocedural=interprocedural)
+        return session.update_file(rel, deadline=deadline,
+                                   interprocedural=interprocedural)
+
+    def update_with_deadline(rel: Optional[str], request_id: Optional[str],
+                             closing: bool,
+                             rename_to: Optional[str]) -> None:
+        if deadline_ms is None:
+            respond(run_update(rel, None, closing=closing,
+                               rename_to=rename_to).report, request_id)
+            return
+        try:
+            delta = run_update(rel, Deadline.after_ms(deadline_ms, clock),
+                               closing=closing, rename_to=rename_to)
+        except DeadlineExceeded as exc:
+            session.timeouts += 1
+            session.record_failure(exc.site or "deadline", exc)
+            respond(_timeout_report(root, exc, deadline_ms), request_id)
+            try:
+                delta = run_update(rel, Deadline.after_ms(deadline_ms, clock),
+                                   interprocedural=False, closing=closing,
+                                   rename_to=rename_to)
+            except DeadlineExceeded as exc2:
+                session.record_failure(exc2.site or "deadline", exc2, 2)
+                if rel is not None:
+                    session.recover_file(rel)
+                delta = run_update(rel, None, interprocedural=False,
+                                   closing=closing, rename_to=rename_to)
+            session.degraded += 1
+        respond(delta.report, request_id)
+
+    def handle(rel: Optional[str], request_id: Optional[str],
+               request: str, closing: bool = False,
+               rename_to: Optional[str] = None) -> None:
+        for attempt in (1, 2, 3):
+            try:
+                update_with_deadline(rel, request_id, closing, rename_to)
+                return
+            except (SessionError, ManifestError) as exc:
+                messages = (exc.messages if isinstance(exc, SessionError)
+                            else [str(exc)])
+                path = exc.path if isinstance(exc, SessionError) else rel
+                respond(_error_report(root, path, messages), request_id)
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failure = session.record_failure("serve.analyze", exc,
+                                                 attempt)
+                if attempt == 1:
+                    if rel is not None:
+                        session.recover_file(rel)
+                    session.recoveries += 1
+                elif attempt == 2:
+                    session.rebuild()
+                    session.rebuilds += 1
+                else:
+                    respond(_internal_error_report(root, failure, request),
+                            request_id)
+                    return
+
+    try:
+        for raw in stdin:
+            line = raw.strip()
+            if not line:
+                continue
+            request_id: Optional[str] = None
+            if line.startswith("@"):
+                head, _, rest = line.partition(" ")
+                request_id = head[1:]
+                line = rest.strip()
+                if not line:
+                    respond(_error_report(
+                        root, None, ["empty command after request id"]),
+                        request_id)
+                    continue
+            parts = line.split(None, 1)
+            command = parts[0]
+            if command == "quit":
+                break
+            if command == "ping":
+                respond(build_report(
+                    "project", source={"file": root}, findings=[],
+                    verdict="clean",
+                    summary={"ping": {
+                        "ok": True,
+                        "files": len(session._files),
+                        "updates": session.updates,
+                        "recoveries": session.recoveries,
+                        "rebuilds": session.rebuilds,
+                    }}), request_id)
+                continue
+            if command == "stats":
+                respond(build_report("project", source={"file": root},
+                                     findings=[], verdict="clean",
+                                     summary={"stats": session.stats()}),
+                        request_id)
+                continue
+            if command in ("open", "edit", "close"):
+                if len(parts) != 2:
+                    respond(_error_report(
+                        root, None, [f"usage: {command} PATH"]), request_id)
+                    continue
+                handle(parts[1], request_id, line,
+                       closing=(command == "close"))
+                continue
+            if command == "rename":
+                operands = parts[1].split() if len(parts) == 2 else []
+                if len(operands) != 2:
+                    respond(_error_report(
+                        root, None, ["usage: rename OLD NEW"]), request_id)
+                    continue
+                handle(operands[0], request_id, line, rename_to=operands[1])
+                continue
+            if command == "analyze":
+                handle(None, request_id, line)
+                continue
+            respond(_error_report(
+                root, None,
+                [f"unknown command {command!r} (expected open/edit/close/"
+                 f"rename/analyze/stats/ping/quit)"]), request_id)
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+__all__ = [
+    "ProjectSession",
+    "ProjectUpdate",
+    "run_project_serve",
+]

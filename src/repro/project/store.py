@@ -1,0 +1,141 @@
+"""Sharded on-disk artifact store shared by parallel sessions.
+
+The engine's in-memory cache is content-addressed: a key is the function's
+structural fingerprint plus everything else the per-function pipeline reads
+(context word, precision, resolved call sets, expression-call token).  This
+module persists that store so *parallel* sessions on one machine — several
+``parcoach project serve`` daemons, a one-shot ``project analyze`` next to
+a warm daemon — share warm artifacts instead of re-analyzing the same
+function bodies.
+
+Layout: one directory per fingerprint prefix (``<root>/<fp[:2]>/``), one
+pickle file per cache key inside it.  Writes take a per-shard ``flock`` and
+go through a temp file + atomic ``os.replace``; reads are lock-free — a
+rename is atomic, so a reader sees either the old bytes or the new bytes,
+never a torn file, and any unpicklable/corrupt/mismatched entry is treated
+as a miss.  Content addressing makes entries immutable: two sessions that
+race to write the same key write the same artifacts, so last-writer-wins
+is correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Optional, Tuple
+
+from ..util.faultinject import fault_site
+
+try:  # flock is POSIX-only; without it writes fall back to atomic rename.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Bump when the pickled payload layout changes; mismatched entries miss.
+STORE_FORMAT = 1
+
+#: Characters of the fingerprint used as the shard directory name.
+SHARD_PREFIX_LEN = 2
+
+
+def _key_digest(key: tuple) -> str:
+    """Stable file name for one engine cache key.
+
+    The key's non-fingerprint parts (context word, precision, call-name
+    tuples, expression-call token) have deterministic ``repr``s: canonical
+    interprocedural words use stable negative region ids, tokens are
+    structural positions.  Hashing fingerprint + repr therefore agrees
+    across processes and sessions."""
+    blob = key[0] + "|" + repr(key[1:])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ShardedStore:
+    """Directory-per-prefix pickle store with atomic, shard-locked writes.
+
+    Duck-typed to what :class:`~repro.core.engine.AnalysisEngine` expects
+    from its ``store`` parameter: ``load(key)`` returning
+    ``(FunctionArtifacts, uid_at_pos)`` or ``None``, and
+    ``save(key, artifacts, uid_at_pos)``.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _shard(self, key: tuple) -> str:
+        return os.path.join(self.root, key[0][:SHARD_PREFIX_LEN])
+
+    def _path(self, key: tuple) -> str:
+        return os.path.join(self._shard(key), _key_digest(key) + ".pkl")
+
+    # -- engine protocol -----------------------------------------------------
+
+    def load(self, key: tuple) -> Optional[Tuple[object, tuple]]:
+        """The stored ``(artifacts, uid_at_pos)`` for ``key`` — ``None`` on
+        any miss, including a torn/corrupt/old-format entry."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Missing file, torn write, corrupt bytes (UnpicklingError,
+            # ValueError, EOFError…), or a payload class that no longer
+            # imports — all of them are misses, never errors.
+            return None
+        if (not isinstance(payload, tuple) or len(payload) != 3
+                or payload[0] != STORE_FORMAT):
+            return None
+        return payload[1], tuple(payload[2])
+
+    def save(self, key: tuple, artifacts: object, uid_at_pos: tuple) -> None:
+        """Write one entry atomically under the shard lock."""
+        shard = self._shard(key)
+        os.makedirs(shard, exist_ok=True)
+        lock_path = os.path.join(shard, ".lock")
+        # Fault site: an injected oserror is a failed lock acquisition; the
+        # engine's write-through swallows it (a shared store that cannot be
+        # written must never fail the analysis itself).
+        fault_site("project.shard_lock", lock_path)
+        fd, tmp = tempfile.mkstemp(dir=shard, prefix=".tmp-")
+        lock = None
+        try:
+            if fcntl is not None:
+                lock = open(lock_path, "a+b")
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((STORE_FORMAT, artifacts, tuple(uid_at_pos)),
+                            handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        finally:
+            if lock is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+                lock.close()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self) -> int:
+        """Number of stored artifacts (walks the shard directories)."""
+        count = 0
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return 0
+        for shard in shards:
+            try:
+                names = os.listdir(os.path.join(self.root, shard))
+            except OSError:
+                continue
+            count += sum(1 for n in names if n.endswith(".pkl"))
+        return count
+
+
+__all__ = ["STORE_FORMAT", "SHARD_PREFIX_LEN", "ShardedStore"]

@@ -63,6 +63,9 @@ SITES = frozenset({
     "store.evict",          # before fingerprint eviction from the store
     "serve.emit",           # before a serve/watch response line is written
     "fuzz.seed",            # inside one fuzz seed's oracle body
+    "project.manifest_read",  # after a project manifest is read (payload: text)
+    "project.shard_lock",   # before a shard lock is taken for a store write
+    "project.patch",        # before a line-offset patch of one function
 })
 
 
