@@ -10,15 +10,28 @@ Configs:
 
 * ``explore_dfs``     — bounded-preemption DFS (the ``parcoach explore``
   default for small programs);
+* ``explore_dpor``    — the same sweep under dynamic partial-order
+  reduction: the full bounded tree's verdicts from a fraction of the runs.
+  ``extra_info["dfs_equivalent_schedules"]`` carries the raw tree size so
+  ``export_bench.py`` derives ``dpor_reduction`` (tree size / dpor runs)
+  and ``effective_schedules_per_sec`` (tree size / wall time);
 * ``explore_random``  — seeded-random sampling (the large-program mode);
 * ``explore_replay``  — straight-line scripted replay of one recorded
-  trace (the floor: scheduling overhead without exploration bookkeeping).
+  trace (the floor: scheduling overhead without exploration bookkeeping);
+* ``explore_decisions`` — per-decision scheduler overhead: one fixed run,
+  ``extra_info["decisions"]`` → ``decisions_per_sec`` (tracks the
+  incremental sorted ready list against the old sort-per-decision cost).
+
+``test_dpor_reduction_threshold`` is the acceptance gate for the ISSUE's
+headline number: at nt=3 on the racy single/allreduce seed, DPOR must
+cover the DFS verdict set with >= 10x fewer schedules.
 """
 
 import pytest
 
 from repro.bench.errors_gallery import CASES
 from repro.explore import (
+    DefaultStrategy,
     ExploreConfig,
     RandomStrategy,
     ScheduleTrace,
@@ -31,6 +44,9 @@ from repro.minilang.parser import parse_program
 CASE = "racy_single_worker_allreduce"
 SCHEDULES = 16
 CFG = ExploreConfig(nprocs=2, num_threads=2)
+#: The reduction benchmark sweeps the full bounded tree at three threads.
+CFG_NT3 = ExploreConfig(nprocs=2, num_threads=3)
+EXHAUSTIVE = 5000
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +66,63 @@ def test_explore_dfs_rate(benchmark, program):
     report = benchmark(go)
     assert report.schedules == SCHEDULES
     assert report.failed > 0  # DFS reaches failing interleavings
+
+
+@pytest.fixture(scope="module")
+def dfs_tree_size(program):
+    """Size of the full bounded-DFS tree at nt=3 — what DPOR replaces."""
+    report = explore_config(program, CFG_NT3, strategy="dfs",
+                            runs=EXHAUSTIVE, preemptions=1, minimize=False)
+    assert report.schedules < EXHAUSTIVE  # exhausted, not truncated
+    return report.schedules
+
+
+def test_explore_dpor_rate(benchmark, program, dfs_tree_size):
+    benchmark.extra_info["size"] = CASE
+    benchmark.extra_info["config"] = "explore_dpor"
+
+    def go():
+        return explore_config(program, CFG_NT3, strategy="dpor",
+                              runs=EXHAUSTIVE, preemptions=1, minimize=False)
+
+    report = benchmark(go)
+    benchmark.extra_info["schedules"] = report.schedules
+    benchmark.extra_info["dfs_equivalent_schedules"] = dfs_tree_size
+    assert report.failed > 0  # the reduced sweep still reaches the bug
+
+
+def test_dpor_reduction_threshold(program, dfs_tree_size):
+    """Acceptance gate: at nt=3, DPOR covers the DFS verdict set with
+    >= 10x fewer schedules."""
+    dfs = explore_config(program, CFG_NT3, strategy="dfs",
+                         runs=EXHAUSTIVE, preemptions=1, minimize=False)
+    dpor = explore_config(program, CFG_NT3, strategy="dpor",
+                          runs=EXHAUSTIVE, preemptions=1, minimize=False)
+    assert set(dpor.verdict_counts) == set(dfs.verdict_counts)
+    reduction = dfs.schedules / max(1, dpor.schedules)
+    assert reduction >= 10.0, (
+        f"dpor only {reduction:.1f}x smaller than the raw tree "
+        f"({dpor.schedules} vs {dfs.schedules} schedules)"
+    )
+
+
+def test_explore_decision_rate(benchmark, program):
+    """Per-decision scheduler overhead: a single deterministic run, rate
+    normalized by its decision count."""
+    _, trace = run_scheduled(program, CFG_NT3, DefaultStrategy())
+    decisions = len(trace.choices)
+    assert decisions > 0
+
+    benchmark.extra_info["size"] = CASE
+    benchmark.extra_info["config"] = "explore_decisions"
+    benchmark.extra_info["decisions"] = decisions
+
+    def go():
+        result, t = run_scheduled(program, CFG_NT3, DefaultStrategy())
+        assert len(t.choices) == decisions
+        return result
+
+    benchmark(go)
 
 
 def test_explore_random_rate(benchmark, program):

@@ -22,6 +22,9 @@ The compact schema::
         "warm_speedup": {"XL": 39.5, ...},     # cold mean / warm mean
         "dominates_depth_ratio": 1.1,          # deepest / shallowest query
         "schedules_per_sec": {"explore_dfs": 410.2, ...},  # exploration rate
+        "decisions_per_sec": {"explore_decisions": 9000.1},  # sched overhead
+        "dpor_reduction": 90.5,                # DFS tree size / dpor runs
+        "effective_schedules_per_sec": 8000.2, # DFS tree size / dpor time
         "fuzz_programs_per_sec": {"fuzz_oracle": 40.1, ...},  # oracle rate
         "interproc_overhead": {"D32": 1.6, ...},  # interproc / intraproc mean
         "project_edit_speedup": {"P100": 8.0}   # cold project / one-file edit
@@ -65,6 +68,8 @@ def compact(raw: dict) -> dict:
     by_config: dict = {}
     schedule_rates: dict = {}
     fuzz_rates: dict = {}
+    decision_rates: dict = {}
+    derived_dpor: dict = {}
     for bench in raw.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         stats = bench.get("stats", {})
@@ -82,6 +87,17 @@ def compact(raw: dict) -> dict:
         if schedules and entry["mean_s"] > 0:
             schedule_rates[entry["config"]] = round(
                 schedules / entry["mean_s"], 1)
+        dfs_equivalent = extra.get("dfs_equivalent_schedules")
+        if dfs_equivalent and schedules:
+            derived_dpor["dpor_reduction"] = round(
+                dfs_equivalent / schedules, 1)
+            if entry["mean_s"] > 0:
+                derived_dpor["effective_schedules_per_sec"] = round(
+                    dfs_equivalent / entry["mean_s"], 1)
+        decisions = extra.get("decisions")
+        if decisions and entry["mean_s"] > 0:
+            decision_rates[entry["config"]] = round(
+                decisions / entry["mean_s"], 1)
         programs = extra.get("programs")
         if programs and entry["mean_s"] > 0:
             fuzz_rates[entry["config"]] = round(
@@ -138,6 +154,9 @@ def compact(raw: dict) -> dict:
         derived["project_patch_speedup"] = patch_speedup
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
+    if decision_rates:
+        derived["decisions_per_sec"] = decision_rates
+    derived.update(derived_dpor)
     if fuzz_rates:
         derived["fuzz_programs_per_sec"] = fuzz_rates
     return {

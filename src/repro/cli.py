@@ -27,17 +27,23 @@ Subcommands::
         emit the instrumented source
     parcoach run FILE [-np N] [-nt T] [--instrument] [--thread-level L]
         execute under the simulator, print outputs and the verdict
-    parcoach explore FILE [--strategy dfs|random] [--preemptions K]
-                          [--runs N] [--replay TRACE] [-np LIST] [-nt LIST]
+    parcoach explore FILE [--strategy dfs|dpor|random] [--preemptions K]
+                          [--runs N] [--jobs N] [--budget SECS]
+                          [--replay TRACE] [-np LIST] [-nt LIST]
                           [--thread-level LIST] [--instrument] [--seed S]
                           [--save-trace PATH] [--no-minimize]
         deterministic schedule exploration: run the program under many
         thread interleavings per (nprocs, num_threads, thread_level)
-        configuration — exhaustive DFS with a preemption bound, or
-        seeded-random sampling — and summarize the verdict of every
-        interleaving ("mismatch in 3/120 schedules").  The first failing
-        schedule is delta-debugged and saved as a compact JSON trace;
-        ``--replay TRACE`` re-executes a saved trace deterministically.
+        configuration — exhaustive DFS with a preemption bound, dynamic
+        partial-order reduction (``dpor``: sleep sets + race reversal +
+        state fingerprints, same verdicts in far fewer schedules; see
+        ``docs/explore.md``), or seeded-random sampling — and summarize
+        the verdict of every interleaving ("mismatch in 3/120
+        schedules").  The first failing schedule is delta-debugged and
+        saved as a compact JSON trace; ``--replay TRACE`` re-executes a
+        saved trace deterministically.  ``--jobs N`` executes the dpor
+        frontier on N worker processes with byte-identical output;
+        ``--budget SECS`` stops cleanly with a partial summary.
         ``-np``/``-nt``/``--thread-level`` accept comma-separated lists and
         are cross-producted.  Exit 1 when any schedule fails.
     parcoach fuzz [--seeds N] [--seed S] [--budget SECS] [--jobs N]
@@ -375,7 +381,8 @@ def _cmd_explore(args) -> int:
         report = explore_config(
             program, config, strategy=args.strategy, runs=args.runs,
             preemptions=args.preemptions, seed=args.seed,
-            group_kinds=group_kinds, minimize=not args.no_minimize)
+            group_kinds=group_kinds, minimize=not args.no_minimize,
+            jobs=args.jobs, budget=args.budget)
         config_reports.append(report)
         if not args.json:
             print(report.summary())
@@ -638,15 +645,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "explore",
-        help="deterministic schedule exploration (DFS / random interleavings)")
+        help="deterministic schedule exploration (DPOR / DFS / random)")
     p.add_argument("file")
-    p.add_argument("--strategy", choices=("dfs", "random"), default="dfs",
-                   help="exhaustive bounded DFS (small programs) or "
-                        "seeded-random sampling (large ones)")
+    p.add_argument("--strategy", choices=("dfs", "dpor", "random"),
+                   default="dfs",
+                   help="exhaustive bounded DFS (small programs), "
+                        "partial-order-reduced DFS (dpor: same verdicts, "
+                        "far fewer schedules) or seeded-random sampling")
     p.add_argument("--preemptions", type=int, default=2, metavar="K",
                    help="preemption bound per schedule (default 2)")
     p.add_argument("--runs", type=int, default=100, metavar="N",
                    help="max schedules per configuration (default 100)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the dpor schedule frontier "
+                        "(output is byte-identical to --jobs 1)")
+    p.add_argument("--budget", type=float, default=None, metavar="SECS",
+                   help="wall-clock cap: stop cleanly with a partial "
+                        "summary once exceeded")
     p.add_argument("--replay", metavar="TRACE",
                    help="re-execute a saved JSON schedule trace instead")
     p.add_argument("-np", default="2", metavar="LIST",

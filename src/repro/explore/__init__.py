@@ -4,11 +4,14 @@ The dynamic-side subsystem: a cooperative :class:`Scheduler` serializes
 every logical thread of a simulated run onto one token (so a run is fully
 determined by its schedule choice sequence), traces record/replay those
 choices as compact JSON, and exploration strategies (bounded-preemption
-DFS, seeded random sampling) sweep the interleaving space per
-``(nprocs, num_threads, thread_level)`` configuration — with greedy
-delta-debugging of any failing schedule.  Surfaced as ``parcoach explore``.
+DFS, dynamic partial-order reduction with sleep sets and state
+fingerprints, seeded random sampling with duplicate resampling) sweep the
+interleaving space per ``(nprocs, num_threads, thread_level)``
+configuration — with greedy delta-debugging of any failing schedule.
+Surfaced as ``parcoach explore``.
 """
 
+from .dpor import DporStats, DporStrategy, RunRecord
 from .explore import (
     ConfigReport,
     ExploreConfig,
@@ -18,6 +21,7 @@ from .explore import (
     replay,
     run_scheduled,
 )
+from .footprint import conflicts, point_footprint
 from .minimize import ddmin
 from .sched import Scheduler
 from .strategies import (
@@ -32,12 +36,17 @@ from .trace import ScheduleTrace, verdict_line
 
 __all__ = [
     "ConfigReport",
+    "DporStats",
+    "DporStrategy",
     "ExploreConfig",
+    "RunRecord",
     "ScheduleOutcome",
     "explore_config",
     "explore_program",
     "replay",
     "run_scheduled",
+    "conflicts",
+    "point_footprint",
     "ddmin",
     "Scheduler",
     "Decision",

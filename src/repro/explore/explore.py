@@ -2,16 +2,27 @@
 
 ``explore_config`` systematically executes one program configuration
 (ranks, team size, thread level) under many schedules — exhaustive DFS with
-a preemption bound, or seeded-random sampling — and aggregates the verdict
-of every interleaving.  The first failing schedule is delta-debugged into a
-minimized trace.  ``explore_program`` cross-products configurations.
-``replay`` re-executes a recorded (or minimized) trace and reports whether
-it reproduced the recorded verdict byte for byte.
+a preemption bound, the partial-order-reduced sweep (``dpor``), or
+seeded-random sampling — and aggregates the verdict of every interleaving.
+The first failing schedule is delta-debugged into a minimized trace.
+``explore_program`` cross-products configurations.  ``replay`` re-executes
+a recorded (or minimized) trace and reports whether it reproduced the
+recorded verdict byte for byte.
+
+The ``dpor`` strategy accepts ``jobs > 1``: waves of pending prefixes fan
+out to a process pool (the same pool/ordered-merge idiom the fuzz campaign
+uses) while all pruning state stays in the driver, so the report is
+byte-identical to the serial sweep.  ``budget`` caps any strategy's wall
+clock; the report is then a clean partial summary with
+``budget_exhausted`` set.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +30,7 @@ from ..minilang import ast_nodes as A
 from ..mpi.thread_levels import ThreadLevel
 from ..runtime.run import run_program
 from ..runtime.simmpi.world import RunResult
+from .dpor import DporStrategy, RunRecord
 from .minimize import ddmin
 from .sched import Scheduler
 from .strategies import (
@@ -28,6 +40,9 @@ from .strategies import (
     dfs_prefixes,
 )
 from .trace import ScheduleTrace, verdict_line
+
+#: Bounded resampling when random sampling draws an already-seen schedule.
+_DEDUPE_RETRIES = 5
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,15 @@ class ConfigReport:
     failures: List[ScheduleOutcome] = field(default_factory=list)
     minimized: Optional[ScheduleTrace] = None
     minimize_replays: int = 0
+    #: Random sampling: duplicate schedules that were discarded+resampled.
+    duplicates_skipped: int = 0
+    #: DPOR pruning counters (see :class:`repro.explore.dpor.DporStats`).
+    dpor_stats: Optional[Dict[str, int]] = None
+    #: True when a wall-clock ``budget`` cut the sweep short.
+    budget_exhausted: bool = False
+    #: Full choice-name sequence of every executed schedule, in order —
+    #: only populated with ``collect_schedules=True`` (property tests).
+    schedule_choices: List[Tuple[str, ...]] = field(default_factory=list)
 
     @property
     def clean(self) -> int:
@@ -93,6 +117,16 @@ class ConfigReport:
         line = (f"{self.config.describe()} · {self.strategy}: "
                 f"{self.schedules} schedules — clean {self.clean}"
                 + (f", {counts}" if counts else ""))
+        if self.duplicates_skipped:
+            line += f" · {self.duplicates_skipped} duplicates resampled"
+        if self.budget_exhausted:
+            line += " · budget exhausted (partial)"
+        if self.dpor_stats:
+            s = self.dpor_stats
+            line += (f"\n  dpor: pushed {s['expanded']}, skipped "
+                     f"{s['independent_skips']} independent + "
+                     f"{s['sleep_skips']} sleeping, "
+                     f"{s['fingerprint_prunes']} state prunes")
         if self.failures:
             first = self.failures[0]
             line += (f"\n  first failure at schedule #{first.index}: "
@@ -104,16 +138,17 @@ class ConfigReport:
         return line
 
 
-def run_scheduled(
+def _run_with_scheduler(
     program: A.Program,
     config: ExploreConfig,
-    strategy=None,
-    group_kinds: Optional[Dict[int, str]] = None,
-    strategy_info: Optional[Dict[str, object]] = None,
-    mode: str = "full",
-) -> Tuple[RunResult, ScheduleTrace]:
-    """Execute one deterministic scheduled run; return result + its trace."""
-    scheduler = Scheduler(strategy or DefaultStrategy())
+    strategy,
+    group_kinds: Optional[Dict[int, str]],
+    strategy_info: Optional[Dict[str, object]],
+    mode: str,
+    fingerprints: bool,
+) -> Tuple[RunResult, ScheduleTrace, Scheduler]:
+    scheduler = Scheduler(strategy or DefaultStrategy(),
+                          fingerprints=fingerprints)
     result = run_program(
         program,
         nprocs=config.nprocs,
@@ -125,6 +160,22 @@ def run_scheduled(
     )
     trace = ScheduleTrace.record(scheduler, config.as_dict(), result,
                                  strategy_info=strategy_info, mode=mode)
+    return result, trace, scheduler
+
+
+def run_scheduled(
+    program: A.Program,
+    config: ExploreConfig,
+    strategy=None,
+    group_kinds: Optional[Dict[int, str]] = None,
+    strategy_info: Optional[Dict[str, object]] = None,
+    mode: str = "full",
+    fingerprints: bool = False,
+) -> Tuple[RunResult, ScheduleTrace]:
+    """Execute one deterministic scheduled run; return result + its trace."""
+    result, trace, _ = _run_with_scheduler(
+        program, config, strategy, group_kinds, strategy_info, mode,
+        fingerprints)
     return result, trace
 
 
@@ -173,7 +224,19 @@ def _minimize_failure(program, config, group_kinds, outcome: ScheduleOutcome,
     replays += 1
     # Keep exactly the choices the minimized schedule actually consumed.
     trace.choices = trace.choices[:len(minimal)]
+    trace.step_footprints = trace.step_footprints[:len(minimal)]
+    trace.state_fingerprints = trace.state_fingerprints[:len(minimal)]
     return trace, replays
+
+
+def _dpor_worker(payload) -> Tuple[ScheduleTrace, RunRecord]:
+    """Pool entry: execute one forced-prefix run, ship trace + record back."""
+    program, config, group_kinds, prefix, preemptions, fingerprints = payload
+    _, trace, scheduler = _run_with_scheduler(
+        program, config, ScriptedStrategy(prefix), group_kinds,
+        {"name": "dpor", "prefix": len(prefix), "preemptions": preemptions},
+        "full", fingerprints)
+    return trace, RunRecord.from_scheduler(scheduler)
 
 
 def explore_config(
@@ -187,15 +250,25 @@ def explore_config(
     minimize: bool = True,
     minimize_budget: int = 150,
     max_failures: int = 25,
+    jobs: int = 1,
+    budget: Optional[float] = None,
+    fingerprints: bool = True,
+    collect_schedules: bool = False,
 ) -> ConfigReport:
     """Explore one configuration's schedule space."""
     report = ConfigReport(config=config, strategy=strategy)
+    deadline = time.monotonic() + budget if budget is not None else None
 
-    def note(result: RunResult, trace: ScheduleTrace) -> None:
+    def out_of_time() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def note(trace: ScheduleTrace) -> None:
         report.schedules += 1
+        if collect_schedules:
+            report.schedule_choices.append(tuple(trace.choice_names))
         key = trace.verdict_class or "clean"
         report.verdict_counts[key] += 1
-        if result.error is not None and len(report.failures) < max_failures:
+        if trace.verdict != "clean" and len(report.failures) < max_failures:
             report.failures.append(ScheduleOutcome(
                 index=report.schedules,
                 verdict=trace.verdict,
@@ -210,27 +283,101 @@ def explore_config(
                 program, config, ScriptedStrategy(prefix), group_kinds,
                 strategy_info={"name": "dfs", "prefix": len(prefix),
                                "preemptions": preemptions})
-            note(result, trace)
+            note(trace)
             return trace.choices
 
         for _ in dfs_prefixes(run_fn, max_runs=runs,
                               preemption_bound=preemptions):
-            pass
+            if out_of_time():
+                report.budget_exhausted = True
+                break
+    elif strategy == "dpor":
+        _explore_dpor(program, config, group_kinds, runs, preemptions,
+                      jobs, fingerprints, note, out_of_time, report)
     elif strategy == "random":
-        for i in range(runs):
-            result, trace = run_scheduled(
-                program, config,
-                RandomStrategy(seed=seed + i, preemption_bound=preemptions),
-                group_kinds,
-                strategy_info={"name": "random", "seed": seed + i})
-            note(result, trace)
+        seen: set = set()
+        for slot in range(runs):
+            if out_of_time():
+                report.budget_exhausted = True
+                break
+            trace = None
+            for retry in range(_DEDUPE_RETRIES + 1):
+                # Resampling perturbs the seed deterministically, far away
+                # from the base seed range.
+                s = seed + slot + retry * 1_000_003
+                _, trace = run_scheduled(
+                    program, config,
+                    RandomStrategy(seed=s, preemption_bound=preemptions),
+                    group_kinds,
+                    strategy_info={"name": "random", "seed": s})
+                key = tuple(trace.choice_names)
+                if key not in seen or not trace.choices:
+                    break  # fresh schedule (or the only schedule there is)
+                report.duplicates_skipped += 1
+                if out_of_time():
+                    break
+            # Retries exhausted: accept the duplicate so `runs` schedules
+            # are always reported.
+            seen.add(tuple(trace.choice_names))
+            note(trace)
     else:
-        raise ValueError(f"unknown strategy {strategy!r} (dfs|random)")
+        raise ValueError(f"unknown strategy {strategy!r} (dfs|dpor|random)")
 
     if minimize and report.failures:
         report.minimized, report.minimize_replays = _minimize_failure(
             program, config, group_kinds, report.failures[0], minimize_budget)
     return report
+
+
+def _explore_dpor(program, config, group_kinds, runs, preemptions, jobs,
+                  fingerprints, note, out_of_time, report) -> None:
+    """DPOR sweep, optionally fanning waves out to a process pool.
+
+    Workers only *execute* runs; every expansion/pruning decision happens
+    here, in FIFO wave order, so output is byte-identical for any ``jobs``.
+    """
+    driver = DporStrategy(preemption_bound=preemptions,
+                          use_fingerprints=fingerprints)
+
+    def run_serial(prefix: List[str]) -> Tuple[ScheduleTrace, RunRecord]:
+        return _dpor_worker((program, config, group_kinds, prefix,
+                             preemptions, fingerprints))
+
+    pool: Optional[ProcessPoolExecutor] = None
+    pool_broken = False
+    if jobs > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+        except OSError:
+            pool = None
+
+    def execute_wave(prefixes: List[List[str]]):
+        nonlocal pool, pool_broken
+        pairs: Optional[List[Tuple[ScheduleTrace, RunRecord]]] = None
+        if pool is not None and not pool_broken and len(prefixes) > 1:
+            payloads = [(program, config, group_kinds, p, preemptions,
+                         fingerprints) for p in prefixes]
+            try:
+                pairs = list(pool.map(_dpor_worker, payloads))
+            except (BrokenProcessPool, OSError):
+                pool_broken = True  # sandboxed: finish serially
+                pairs = None
+        if pairs is None:
+            pairs = [run_serial(p) for p in prefixes]
+        for trace, _ in pairs:
+            note(trace)
+        return [record for _, record in pairs]
+
+    try:
+        for _ in driver.explore(execute_wave, max_runs=runs,
+                                wave_size=max(1, jobs)):
+            if out_of_time():
+                report.budget_exhausted = True
+                break
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    report.dpor_stats = driver.stats.as_dict()
 
 
 def explore_program(

@@ -7,10 +7,10 @@ instrumented or not) and the choice sequence of every *branching* decision
 verdict block is carried along so a replay can be validated against what
 the recorded run reported.
 
-JSON schema (``version`` 1)::
+JSON schema (``version`` 2)::
 
     {
-      "version": 1,
+      "version": 2,
       "mode": "full" | "minimized",
       "config": {"nprocs": 2, "num_threads": 2, "thread_level": "multiple",
                  "entry": "main", "instrument": false},
@@ -18,17 +18,25 @@ JSON schema (``version`` 1)::
       "verdict": {"line": "DeadlockError[simulator] rank=0 line=12: ...",
                   "class": "DeadlockError", "detected_by": "simulator"},
       "choices": [
-        {"i": 0, "p": "start", "u": null, "r": ["r0", "r1"], "c": "r1"},
+        {"i": 0, "p": "start", "u": null, "r": ["r0", "r1"], "c": "r1",
+         "f": ["comm/c:MPI_Bcast"], "sf": "9f86d081884c7d65"},
         ...
       ]
     }
 
 ``choices[*]``: ``i`` decision index, ``p`` schedule point (kind:detail),
 ``u`` the thread that was running (``null`` = forced switch), ``r`` the
-sorted runnable set, ``c`` the chosen thread.  Only ``c`` is required to
-replay; the rest make traces self-describing and drive DFS expansion.
-``mode: "minimized"`` marks a delta-debugged choice sequence that relies on
-the deterministic run-to-completion fallback once exhausted.
+sorted runnable set, ``c`` the chosen thread.  Version 2 adds the pruning
+metadata that dynamic partial-order reduction works from: ``f`` is the
+access footprint of the step the chosen thread actually executed after the
+decision (canonical sorted ``object/mode`` strings, see
+:mod:`repro.explore.footprint`) and ``sf`` is the state fingerprint of the
+quiescent state at the decision (present only when the recording scheduler
+ran with ``fingerprints=True``).  Only ``c`` is required to replay; the
+rest make traces self-describing and drive DFS/DPOR expansion.  Version-1
+traces (no ``f``/``sf``) load and replay unchanged.  ``mode: "minimized"``
+marks a delta-debugged choice sequence that relies on the deterministic
+run-to-completion fallback once exhausted.
 """
 
 from __future__ import annotations
@@ -39,9 +47,11 @@ from typing import Dict, List, Optional
 
 from ..mpi.thread_levels import ThreadLevel
 from ..runtime.simmpi.world import RunResult
+from .footprint import footprint_to_list
 from .strategies import Decision
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def verdict_line(result: RunResult) -> str:
@@ -62,6 +72,11 @@ class ScheduleTrace:
     detected_by: str = ""
     mode: str = "full"
     strategy: Dict[str, object] = field(default_factory=dict)
+    #: Per choice: the executed step's footprint (sorted "object/mode"
+    #: strings) or None when unknown (v1 traces, truncated runs).
+    step_footprints: List[Optional[List[str]]] = field(default_factory=list)
+    #: Per choice: quiescent-state fingerprint or None.
+    state_fingerprints: List[Optional[str]] = field(default_factory=list)
 
     @property
     def choice_names(self) -> List[str]:
@@ -73,6 +88,17 @@ class ScheduleTrace:
     def record(cls, scheduler, config: Dict[str, object], result: RunResult,
                strategy_info: Optional[Dict[str, object]] = None,
                mode: str = "full") -> "ScheduleTrace":
+        events = getattr(scheduler, "events", [])
+        event_index = getattr(scheduler, "decision_event_index", [])
+        state_fps = list(getattr(scheduler, "state_fingerprints", []))
+        footprints: List[Optional[List[str]]] = []
+        for i in range(len(scheduler.decisions)):
+            ei = event_index[i] if i < len(event_index) else None
+            if ei is not None and ei < len(events):
+                footprints.append(footprint_to_list(events[ei][1]))
+            else:
+                footprints.append(None)
+        state_fps += [None] * (len(scheduler.decisions) - len(state_fps))
         return cls(
             config=dict(config),
             choices=list(scheduler.decisions),
@@ -81,11 +107,26 @@ class ScheduleTrace:
             detected_by=result.detected_by,
             mode=mode,
             strategy=dict(strategy_info or {}),
+            step_footprints=footprints,
+            state_fingerprints=state_fps,
         )
 
     # -- (de)serialization ------------------------------------------------------
 
     def to_dict(self) -> dict:
+        choices = []
+        for i, d in enumerate(self.choices):
+            entry = {"i": d.index, "p": d.point, "u": d.current,
+                     "r": list(d.runnable), "c": d.chosen}
+            fp = (self.step_footprints[i]
+                  if i < len(self.step_footprints) else None)
+            if fp is not None:
+                entry["f"] = list(fp)
+            sf = (self.state_fingerprints[i]
+                  if i < len(self.state_fingerprints) else None)
+            if sf is not None:
+                entry["sf"] = sf
+            choices.append(entry)
         return {
             "version": TRACE_VERSION,
             "mode": self.mode,
@@ -96,11 +137,7 @@ class ScheduleTrace:
                 "class": self.verdict_class,
                 "detected_by": self.detected_by,
             },
-            "choices": [
-                {"i": d.index, "p": d.point, "u": d.current,
-                 "r": list(d.runnable), "c": d.chosen}
-                for d in self.choices
-            ],
+            "choices": choices,
         }
 
     def to_json(self) -> str:
@@ -109,9 +146,10 @@ class ScheduleTrace:
     @classmethod
     def from_dict(cls, data: dict) -> "ScheduleTrace":
         version = data.get("version", TRACE_VERSION)
-        if version != TRACE_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported trace version {version}")
         verdict = data.get("verdict", {})
+        raw_choices = data.get("choices", [])
         choices = [
             Decision(
                 index=c.get("i", i),
@@ -120,7 +158,7 @@ class ScheduleTrace:
                 runnable=tuple(c.get("r", ())),
                 chosen=c["c"],
             )
-            for i, c in enumerate(data.get("choices", []))
+            for i, c in enumerate(raw_choices)
         ]
         return cls(
             config=dict(data.get("config", {})),
@@ -130,6 +168,8 @@ class ScheduleTrace:
             detected_by=verdict.get("detected_by", ""),
             mode=data.get("mode", "full"),
             strategy=dict(data.get("strategy", {})),
+            step_footprints=[c.get("f") for c in raw_choices],
+            state_fingerprints=[c.get("sf") for c in raw_choices],
         )
 
     @classmethod

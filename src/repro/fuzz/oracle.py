@@ -11,9 +11,10 @@ system has:
 * **dynamic, instrumented** — the same run of the selectively
   instrumented program (CC / thread-check verdicts fire *before* the
   deadlock);
-* **dynamic, explored** — a bounded-preemption DFS sweep of thread
+* **dynamic, explored** — a bounded-preemption DPOR sweep (race-reversal
+  backtracking + sleep sets, see :mod:`repro.explore.dpor`) of thread
   interleavings of the instrumented program, catching schedule-sensitive
-  bugs the default interleaving misses.
+  bugs the default interleaving misses at a fraction of the raw DFS cost.
 
 and classifies their agreement:
 
@@ -65,7 +66,7 @@ class OracleConfig:
     nprocs: int = 2
     num_threads: int = 2
     thread_level: ThreadLevel = ThreadLevel.MULTIPLE
-    #: Bounded DFS sweep size (schedules) and preemption bound.
+    #: Bounded DPOR sweep size (schedules) and preemption bound.
     explore_runs: int = 12
     explore_preemptions: int = 1
 
@@ -102,7 +103,7 @@ class OracleVerdict:
     #: Canonical verdict lines of the two deterministic default-schedule runs.
     raw_verdict: str = "clean"
     instrumented_verdict: str = "clean"
-    #: Bounded DFS sweep: schedules explored / failed, distinct error classes.
+    #: Bounded DPOR sweep: schedules explored / failed, distinct error classes.
     explored: int = 0
     explored_failed: int = 0
     explored_classes: Tuple[str, ...] = ()
@@ -224,7 +225,7 @@ def run_oracle(source: str,
 
         if config.explore_runs > 0:
             report = explore_config(
-                instrumented, inst_cfg, strategy="dfs",
+                instrumented, inst_cfg, strategy="dpor",
                 runs=config.explore_runs,
                 preemptions=config.explore_preemptions,
                 group_kinds=inter.group_kinds, minimize=False)

@@ -67,11 +67,13 @@ class CheckState:
     def enter(self, group: int, what: str, line: int = 0) -> None:
         # Entering an instrumented region is schedule-relevant: whether two
         # threads overlap inside it is exactly what exploration varies.
-        self.proc.world.yield_point(SchedPoint.CHECK, f"enter:{what}")
+        self.proc.world.yield_point(SchedPoint.CHECK,
+                                    f"enter:r{self.proc.rank}:{what}")
         self.proc.enter_checks += 1
         with self._lock:
             count = self._counters.get(group, 0) + 1
             self._counters[group] = count
+            self.proc.check_counters[group] = count
         if count <= 1:
             return
         kind = self.group_kinds.get(group, "multithread")
@@ -88,6 +90,9 @@ class CheckState:
         )
 
     def exit(self, group: int) -> None:
-        self.proc.world.yield_point(SchedPoint.CHECK, f"exit:{group}")
+        self.proc.world.yield_point(SchedPoint.CHECK,
+                                    f"exit:r{self.proc.rank}:{group}")
         with self._lock:
-            self._counters[group] = max(0, self._counters.get(group, 0) - 1)
+            count = max(0, self._counters.get(group, 0) - 1)
+            self._counters[group] = count
+            self.proc.check_counters[group] = count

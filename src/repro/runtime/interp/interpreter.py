@@ -70,6 +70,39 @@ class Interpreter:
         self.checks = check_state or CheckState(proc)
         self.num_threads = num_threads
         self.funcs = {f.name: f for f in program.funcs}
+        # Shared-variable access tracking for schedule exploration: under a
+        # cooperative scheduler, reads/writes of cells visible to a team of
+        # >1 threads feed the running segment's footprint (and the state
+        # fingerprint).  Objects (cells, arrays) are labeled lazily in
+        # first-access order — deterministic within one scheduled run, which
+        # is the only scope footprints are ever compared in.
+        self._track = bool(getattr(self.world.hooks, "cooperative", False))
+        self._labels: Dict[int, str] = {}
+        self._label_objs: List[tuple] = []  # (label, obj) — also keeps refs
+        if self._track:
+            self.world.register_fingerprint_provider(
+                f"interp:r{proc.rank}", self._shared_state)
+
+    # -- shared-access tracking ----------------------------------------------
+
+    def _tracking(self, ctx: ExecCtx) -> bool:
+        return self._track and ctx.team is not None and ctx.team.size > 1
+
+    def _label(self, obj: object, name: str) -> str:
+        key = id(obj)
+        label = self._labels.get(key)
+        if label is None:
+            label = f"r{self.proc.rank}:{name}#{len(self._labels)}"
+            self._labels[key] = label
+            self._label_objs.append((label, obj))
+        return label
+
+    def _shared_state(self) -> tuple:
+        """Values of every tracked shared object, for state fingerprints."""
+        return tuple(sorted(
+            (label, repr(obj.value) if isinstance(obj, Cell) else repr(obj))
+            for label, obj in self._label_objs
+        ))
 
     # -- entry -------------------------------------------------------------------
 
@@ -163,11 +196,16 @@ class Interpreter:
         value = self.eval(stmt.value, env, ctx)
         target = stmt.target
         if isinstance(target, A.VarRef):
+            cell = env.cell(target.name)
             if stmt.op == "=":
-                env.set(target.name, value)
+                cell.value = value
             else:
-                cell = env.cell(target.name)
+                if self._tracking(ctx):
+                    self.world.note_observation(
+                        ("load", target.name, cell.value))
                 cell.value = _apply_compound(stmt.op, cell.value, value)
+            if self._tracking(ctx):
+                self.world.note_access(self._label(cell, target.name), "w")
         elif isinstance(target, A.ArrayRef):
             arr = env.get(target.name)
             index = int(self.eval(target.index, env, ctx))
@@ -180,7 +218,12 @@ class Interpreter:
             if stmt.op == "=":
                 arr[index] = value
             else:
+                if self._tracking(ctx):
+                    self.world.note_observation(
+                        ("load", target.name, index, arr[index]))
                 arr[index] = _apply_compound(stmt.op, arr[index], value)
+            if self._tracking(ctx):
+                self.world.note_access(self._label(arr, target.name), "w")
         else:
             raise InterpError("bad assignment target")
 
@@ -309,6 +352,11 @@ class Interpreter:
         if isinstance(expr, A.StringLit):
             return expr.value
         if isinstance(expr, A.VarRef):
+            if self._tracking(ctx):
+                cell = env.cell(expr.name)
+                self.world.note_access(self._label(cell, expr.name), "r")
+                self.world.note_observation(("load", expr.name, cell.value))
+                return cell.value
             return env.get(expr.name)
         if isinstance(expr, A.ArrayRef):
             arr = env.get(expr.name)
@@ -319,7 +367,11 @@ class Interpreter:
                 raise InterpError(
                     f"index {index} out of bounds for {expr.name}[{len(arr)}]"
                 )
-            return arr[index]
+            value = arr[index]
+            if self._tracking(ctx):
+                self.world.note_access(self._label(arr, expr.name), "r")
+                self.world.note_observation(("load", expr.name, index, value))
+            return value
         if isinstance(expr, A.UnaryOp):
             value = self.eval(expr.operand, env, ctx)
             if expr.op == "-":
@@ -401,7 +453,10 @@ class Interpreter:
         """Write an MPI result back through an lvalue (variable or array
         element)."""
         if isinstance(expr, A.VarRef):
-            env.set(expr.name, value)
+            cell = env.cell(expr.name)
+            cell.value = value
+            if self._tracking(ctx):
+                self.world.note_access(self._label(cell, expr.name), "w")
             return
         if isinstance(expr, A.ArrayRef):
             arr = env.get(expr.name)
@@ -411,6 +466,8 @@ class Interpreter:
                     f"{what}: bad array element {expr.name}[{index}]"
                 )
             arr[index] = value
+            if self._tracking(ctx):
+                self.world.note_access(self._label(arr, expr.name), "w")
             return
         raise InterpError(f"{what} buffer argument must be an lvalue")
 

@@ -77,6 +77,15 @@ class ExecutionHooks:
     def notify(self, world, cond: threading.Condition) -> None:
         raise NotImplementedError
 
+    # -- footprints / observations (no-ops in threaded mode) -----------------
+
+    def note_access(self, obj: str, mode: str = "w") -> None:
+        """The running logical thread touched shared object ``obj``."""
+
+    def note_observation(self, value) -> None:
+        """The running logical thread observed ``value`` (recv/collective
+        result, shared read, claim outcome) — folded into its state hash."""
+
     # -- logical-thread lifecycle (no-ops in threaded mode) ------------------
 
     def child_names(self, size: int) -> List[Optional[str]]:

@@ -76,7 +76,20 @@ class CollectiveEngine:
                 self._releasing = False
                 self._result = None
                 self.world.notify(self.cond)
+            self.world.note_observation(("coll", op_name, value))
             return value
+
+    def fingerprint_state(self):
+        """Canonical round progress for state fingerprinting."""
+        return (
+            self.round_no,
+            tuple(
+                (r, v[0], repr(v[1]), repr(v[2]))
+                for r, v in sorted(self.arrivals.items())
+            ),
+            self._releasing,
+            self._release_pending,
+        )
 
     def on_proc_finished(self, rank: int) -> None:
         """Called by the world when a rank's main thread exits; wakes a round

@@ -28,6 +28,13 @@ class Mailbox:
             self.queues.setdefault(dest, []).append((source, tag, value))
             self.world.notify(self.cond)
 
+    def fingerprint_state(self):
+        """Canonical queue contents for state fingerprinting."""
+        return tuple(
+            (dest, tuple(self.queues[dest]))
+            for dest in sorted(self.queues) if self.queues[dest]
+        )
+
     def _match(self, dest: int, source: int, tag: int) -> Optional[int]:
         queue = self.queues.setdefault(dest, [])
         for i, (src, t, _value) in enumerate(queue):
@@ -42,7 +49,9 @@ class Mailbox:
             while True:
                 index = self._match(dest, source, tag)
                 if index is not None:
-                    return self.queues[dest].pop(index)[2]
+                    src, t, value = self.queues[dest].pop(index)
+                    self.world.note_observation(("recv", src, t, value))
+                    return value
                 self.world.check_abort()
                 if self.world.clock() > deadline:
                     self.world.abort(DeadlockError(

@@ -41,7 +41,8 @@ class CriticalSection:
         self._held = False
 
     def __enter__(self) -> "CriticalSection":
-        self.world.yield_point(SchedPoint.CRITICAL, self.name)
+        self.world.yield_point(SchedPoint.CRITICAL,
+                               f"r{self.rank}:{self.name}")
         deadline = self.world.clock() + self.world.timeout
         with self.cond:
             while self._held:
@@ -100,6 +101,15 @@ class MpiProcess:
             with self._lock:
                 self._active_wide_teams -= 1
 
+    def fingerprint_state(self):
+        """Canonical per-rank shared state for state fingerprinting."""
+        with self._lock:
+            return (
+                self.rank, self.initialized, self.finalized, self._in_mpi,
+                self._collectives_inflight, self._active_wide_teams,
+                tuple(sorted(self.check_counters.items())),
+            )
+
     def critical_lock(self, name: str) -> CriticalSection:
         with self._critical_guard:
             return self._critical_locks.setdefault(
@@ -153,6 +163,10 @@ class MpiProcess:
             self._in_mpi += 1
             if collective:
                 self._collectives_inflight += 1
+        # The per-rank in-flight counters are shared state the thread-level
+        # guard races on: entering/leaving an MPI call never commutes with
+        # another MPI call of the same rank.
+        self.world.note_access(f"mpi:r{self.rank}", "w")
         try:
             yield
         finally:
@@ -160,6 +174,7 @@ class MpiProcess:
                 self._in_mpi -= 1
                 if collective:
                     self._collectives_inflight -= 1
+            self.world.note_access(f"mpi:r{self.rank}", "w")
 
     # -- operations -------------------------------------------------------------------------
 

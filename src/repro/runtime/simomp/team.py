@@ -162,10 +162,11 @@ class Team:
                                f"r{self.proc.rank}t{tid}u{construct_uid}")
         with self._claim_lock:
             key = (construct_uid, encounter)
-            if key in self._claims:
-                return False
-            self._claims[key] = tid
-            return True
+            won = key not in self._claims
+            if won:
+                self._claims[key] = tid
+        self.world.note_observation(("claim", construct_uid, encounter, won))
+        return won
 
     def static_chunk(self, tid: int, count: int) -> range:
         """Indices [0, count) assigned to ``tid`` under static scheduling

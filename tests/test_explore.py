@@ -152,8 +152,10 @@ def test_trace_json_roundtrip(tmp_path):
     assert loaded.config == trace.config
     assert loaded.mode == "full"
     data = json.loads(path.read_text())
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert all(set(c) >= {"i", "p", "r", "c"} for c in data["choices"])
+    # v2 carries the executed step footprint for every decision.
+    assert all("f" in c for c in data["choices"])
 
 
 def test_trace_rejects_unknown_version():
