@@ -11,12 +11,26 @@ Configs:
   floor: how fast seeds can be minted);
 * ``fuzz_oracle``   — the full differential oracle (two static analyses,
   instrumentation, two scheduled runs, bounded DFS sweep) — the number the
-  campaign's seeds/sec ultimately follows.
+  campaign's seeds/sec ultimately follows;
+* ``fuzz_campaign_open`` / ``fuzz_campaign_coverage`` — the campaign
+  driver end to end (real oracle), open-loop vs coverage-guided on the
+  same seed budget.  ``export_bench.py`` derives
+  ``fuzz_coverage_overhead`` from the ratio (the feedback machinery —
+  probe collection, signature hashing, map folding, queue scheduling —
+  must stay a scheduling tax next to the oracle; gated ≤ 1.5× by
+  ``tests/test_fuzz_coverage.py``) and ``distinct_findings_per_kseed``
+  from ``extra_info["distinct_findings"]``.
 """
 
 import pytest
 
-from repro.fuzz import GenConfig, OracleConfig, generate_program, run_oracle
+from repro.fuzz import (
+    GenConfig,
+    OracleConfig,
+    generate_program,
+    run_fuzz,
+    run_oracle,
+)
 
 PROGRAMS = 8
 SEEDS = tuple(range(PROGRAMS))
@@ -24,6 +38,11 @@ GEN = GenConfig()
 #: A slimmer sweep than the CLI default keeps benchmark rounds short while
 #: still exercising every oracle phase.
 ORACLE = OracleConfig(explore_runs=6)
+
+#: Seed budget for the campaign-driver pair — small enough for short
+#: rounds, large enough that the coverage scheduler forms real waves.
+CAMPAIGN_SEEDS = 16
+CAMPAIGN_ORACLE = OracleConfig(explore_runs=2)
 
 
 @pytest.fixture(scope="module")
@@ -56,3 +75,33 @@ def test_fuzz_oracle_rate(benchmark, sources):
     # The acceptance invariant holds inside the benchmark too.
     assert all(v.classification in ("agree", "static-overapprox")
                for v in verdicts)
+
+
+def test_fuzz_campaign_open_rate(benchmark):
+    benchmark.extra_info["size"] = f"{CAMPAIGN_SEEDS}seeds"
+    benchmark.extra_info["config"] = "fuzz_campaign_open"
+    benchmark.extra_info["programs"] = CAMPAIGN_SEEDS
+
+    def go():
+        return run_fuzz(seeds=CAMPAIGN_SEEDS, gen_config=GEN,
+                        oracle_config=CAMPAIGN_ORACLE)
+
+    report = benchmark(go)
+    assert report.completed == CAMPAIGN_SEEDS
+    benchmark.extra_info["distinct_findings"] = report.distinct_findings
+
+
+def test_fuzz_campaign_coverage_rate(benchmark):
+    benchmark.extra_info["size"] = f"{CAMPAIGN_SEEDS}seeds"
+    benchmark.extra_info["config"] = "fuzz_campaign_coverage"
+    benchmark.extra_info["programs"] = CAMPAIGN_SEEDS
+
+    def go():
+        return run_fuzz(seeds=CAMPAIGN_SEEDS, gen_config=GEN, coverage=True,
+                        oracle_config=CAMPAIGN_ORACLE)
+
+    report = benchmark(go)
+    assert report.completed == CAMPAIGN_SEEDS
+    assert report.coverage_map is not None
+    benchmark.extra_info["distinct_findings"] = report.distinct_findings
+    benchmark.extra_info["signatures"] = report.coverage_map.distinct_signatures

@@ -70,6 +70,7 @@ def compact(raw: dict) -> dict:
     fuzz_rates: dict = {}
     decision_rates: dict = {}
     derived_dpor: dict = {}
+    findings_per_kseed: dict = {}
     for bench in raw.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         stats = bench.get("stats", {})
@@ -102,6 +103,10 @@ def compact(raw: dict) -> dict:
         if programs and entry["mean_s"] > 0:
             fuzz_rates[entry["config"]] = round(
                 programs / entry["mean_s"], 1)
+        if (extra.get("distinct_findings") is not None and programs
+                and entry["config"] == "fuzz_campaign_coverage"):
+            findings_per_kseed[entry["config"]] = round(
+                extra["distinct_findings"] * 1000.0 / programs, 2)
 
     derived: dict = {}
     cold = by_config.get("cold", {})
@@ -159,6 +164,19 @@ def compact(raw: dict) -> dict:
     derived.update(derived_dpor)
     if fuzz_rates:
         derived["fuzz_programs_per_sec"] = fuzz_rates
+    campaign_open = by_config.get("fuzz_campaign_open", {})
+    campaign_cov = by_config.get("fuzz_campaign_coverage", {})
+    overhead_cov = {
+        size: round(campaign_cov[size] / campaign_open[size], 2)
+        for size in campaign_cov
+        if size in campaign_open and campaign_open[size] > 0
+    }
+    if overhead_cov:
+        # Gated ≤ 1.5× by tests/test_fuzz_coverage.py: coverage feedback
+        # must stay a scheduling tax, not a second oracle.
+        derived["fuzz_coverage_overhead"] = overhead_cov
+    if findings_per_kseed:
+        derived["distinct_findings_per_kseed"] = findings_per_kseed
     return {
         "suite": "bench_scale",
         "python": platform.python_version(),

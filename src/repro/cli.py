@@ -49,6 +49,7 @@ Subcommands::
     parcoach fuzz [--seeds N] [--seed S] [--budget SECS] [--jobs N]
                   [--shrink] [--corpus DIR] [--explore-runs N] [-v]
                   [--seed-timeout SECS] [--checkpoint PATH] [--resume]
+                  [--coverage]
         differential fuzzing: generate N seeded random minilang programs
         and cross-check every verdict source (intra- + interprocedural
         static analysis vs. deterministic raw / instrumented / explored
@@ -58,6 +59,9 @@ Subcommands::
         allowed, tracked) or *crash* (internal error).  ``--shrink``
         ddmin-reduces each disagreement; with ``--corpus DIR`` the reduced
         ``.mini``/``.json`` pair is persisted for regression replay.
+        ``--coverage`` turns the campaign feedback-driven: per-seed
+        coverage signatures schedule an AFL-style mutation queue and
+        findings dedupe by fingerprint (see docs/fuzzing.md).
         Every finding reproduces alone via ``fuzz --seeds 1 --seed S``.
     parcoach serve [--jobs N] [--precision P] [--no-interprocedural]
                    [--initial-context W] [--deadline-ms MS]
@@ -420,12 +424,18 @@ def _cmd_fuzz(args) -> int:
         def progress(outcome):
             print(f"seed {outcome.seed}: {outcome.verdict.describe()}",
                   file=sys.stderr)
-    report = run_fuzz(
-        seeds=args.seeds, base_seed=args.seed, gen_config=GenConfig(),
-        oracle_config=oracle_config, budget=args.budget, jobs=args.jobs,
-        shrink=args.shrink, corpus_dir=args.corpus, progress=progress,
-        seed_timeout=args.seed_timeout, checkpoint=args.checkpoint,
-        resume=args.resume)
+    try:
+        report = run_fuzz(
+            seeds=args.seeds, base_seed=args.seed, gen_config=GenConfig(),
+            oracle_config=oracle_config, budget=args.budget, jobs=args.jobs,
+            shrink=args.shrink, corpus_dir=args.corpus, progress=progress,
+            seed_timeout=args.seed_timeout, checkpoint=args.checkpoint,
+            resume=args.resume, coverage=args.coverage)
+    except ValueError as exc:
+        # Checkpoint problems (wrong schema version, range or coverage-flag
+        # mismatch) are usage errors under the 0/1/2 contract, not findings.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         from .core.report import render_json, report_from_fuzz
         print(render_json(report_from_fuzz(report, seeds=args.seeds,
@@ -569,7 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
             "  1  findings — static warnings, a failing run, failing\n"
             "     schedules, fuzzer disagreements (static-miss)\n"
             "  2  internal or usage errors — invalid input program,\n"
-            "     unknown function, replay divergence, fuzzer crash class"
+            "     unknown function, replay divergence, fuzzer crash class\n"
+            "\n"
+            "docs: docs/fuzzing.md (coverage-guided fuzzing: signatures,\n"
+            "  mutation energy, campaign state v2), docs/explore.md (DPOR),\n"
+            "  docs/resilience.md (fault injection, checkpoints),\n"
+            "  docs/report-schema.md, docs/project-protocol.md"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -720,6 +735,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restore --checkpoint and run only the remaining "
                         "seeds (final tally identical to an uninterrupted "
                         "campaign)")
+    p.add_argument("--coverage", action="store_true",
+                   help="coverage-guided mode: per-seed coverage "
+                        "signatures feed an AFL-style mutation queue, and "
+                        "findings dedupe by fingerprint (docs/fuzzing.md; "
+                        "mutant seeds encode as integers >= 2**62 and "
+                        "reproduce via --seeds 1 --seed S like any other)")
     p.add_argument("--json", action="store_true",
                    help="emit the versioned Report IR instead of the "
                         "summary line")

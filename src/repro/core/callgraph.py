@@ -55,6 +55,7 @@ from ..minilang import ast_nodes as A
 from ..mpi.collectives import is_collective
 from ..parallelism import EMPTY, Word, compute_words
 from ..parallelism.word import B, P, S
+from ..util.probe import probe, probes_active
 from .sites import ProgramIndex, index_program
 
 #: Bounds for the context-propagation fixpoint (per function).
@@ -279,9 +280,11 @@ def propagate_contexts(program: A.Program, graph: CallGraph,
             return
         if len(known) >= MAX_CONTEXTS or len(word) > MAX_CONTEXT_LEN:
             saturated.add(name)
+            probe("cg:saturated")
             return
         known[word] = chain
         worklist.append((name, word))
+        probe("cg:context")
 
     for name in graph.order:
         if name in graph.entries:
@@ -607,6 +610,12 @@ def collective_summaries(program: A.Program,
                 if new != summaries[name].collectives:
                     summaries[name].collectives = new
                     changed = True
+    if probes_active():
+        if graph.recursive:
+            probe("cg:recursive")
+        for summary in summaries.values():
+            for cls in summary.collectives.values():
+                probe("cg:summary:" + cls)
     return summaries
 
 

@@ -46,6 +46,7 @@ from ..minilang import ast_nodes as A
 from ..mpi.collectives import COLLECTIVES
 from ..mpi.thread_levels import LEVEL_FROM_INT, ThreadLevel
 from ..parallelism import EMPTY, Word, WordInfo, compute_words, is_monothreaded
+from ..util.probe import probe, probes_active
 from .callgraph import (
     CallGraph,
     ContextMap,
@@ -605,6 +606,17 @@ def analyze_program(
         artifacts[func.name] = merged
         context_info[func.name] = (ctx_words, infos)
 
-    return _assemble(program, index, collective_funcs, artifacts,
-                     precision, instrument_all, _find_requested_level(index),
-                     plan=plan, context_info=context_info)
+    analysis = _assemble(program, index, collective_funcs, artifacts,
+                         precision, instrument_all,
+                         _find_requested_level(index),
+                         plan=plan, context_info=context_info)
+    if probes_active():
+        probe("drv:mode:" + ("inter" if plan is not None else "intra"))
+        if plan is not None and plan.extra_points:
+            probe("drv:extra-points")
+        for diag in analysis.diagnostics:
+            probe("drv:diag:" + diag.code.value)
+        for fa in analysis.functions.values():
+            if fa.instrumented:
+                probe("drv:instrumented")
+    return analysis

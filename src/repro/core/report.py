@@ -297,17 +297,28 @@ def report_from_fuzz(fuzz_report, seeds: int, base_seed: int) -> Dict[str, Any]:
             "verdict": outcome.verdict.as_dict(),
             "repro": outcome.repro,
         }))
+    summary = {
+        "seeds": seeds,
+        "base_seed": base_seed,
+        "counts": dict(sorted(fuzz_report.counts.items())),
+        "overapprox_seeds": list(fuzz_report.overapprox_seeds),
+        "reduced": [{"name": n, "path": p} for n, p in fuzz_report.reduced],
+    }
+    coverage_map = getattr(fuzz_report, "coverage_map", None)
+    if coverage_map is not None:
+        # Deterministic aggregates only (no elapsed/rate): two runs of the
+        # same campaign emit byte-identical coverage summaries.
+        summary["coverage"] = {
+            "features": coverage_map.feature_count,
+            "signatures": coverage_map.distinct_signatures,
+            "distinct_findings": len(fuzz_report.dedupe),
+            "duplicates": fuzz_report.duplicates,
+        }
     return build_report(
         "fuzz",
         source=None,
         findings=findings,
-        summary={
-            "seeds": seeds,
-            "base_seed": base_seed,
-            "counts": dict(sorted(fuzz_report.counts.items())),
-            "overapprox_seeds": list(fuzz_report.overapprox_seeds),
-            "reduced": [{"name": n, "path": p} for n, p in fuzz_report.reduced],
-        },
+        summary=summary,
     )
 
 

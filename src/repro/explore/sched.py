@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..runtime.errors import DeadlockError
 from ..runtime.schedpoint import ExecutionHooks, SchedPoint
+from ..util.brepr import bounded_repr
 from .footprint import Footprint, footprint_to_list, point_footprint
 from .strategies import Decision, DefaultStrategy, Strategy
 
@@ -215,7 +216,11 @@ class Scheduler(ExecutionHooks):
             return
         lt = self._threads.get(me)
         if lt is not None:
-            lt.obs = zlib.crc32(repr(value).encode("utf-8", "replace"), lt.obs)
+            # bounded_repr: a fuzzed ``x = x * x`` loop mints ints past
+            # CPython's 4300-digit str limit; plain repr would kill the
+            # rank thread mid-observation (found by the fuzz campaign).
+            lt.obs = zlib.crc32(
+                bounded_repr(value).encode("utf-8", "replace"), lt.obs)
 
     # -- decision points ------------------------------------------------------
 

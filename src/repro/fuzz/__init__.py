@@ -12,6 +12,8 @@ regression directory.  Surfaced as ``parcoach fuzz``.
 from .campaign import (
     CHECKPOINT_VERSION,
     MUTANT_STRIDE,
+    QUEUE_LIMIT,
+    WAVE_WIDTH,
     FuzzReport,
     SeedOutcome,
     fuzz_one,
@@ -19,6 +21,19 @@ from .campaign import (
     program_for_seed,
     run_fuzz,
     write_checkpoint,
+)
+from .coverage import (
+    MUTANT_BASE,
+    MUTANT_SLOTS,
+    CoverageMap,
+    CoverageSignature,
+    decode_mutant,
+    energy_for,
+    finding_fingerprint_for,
+    is_mutant_seed,
+    mutant_seed,
+    signature_for,
+    source_features,
 )
 from .generator import (
     GenConfig,
@@ -47,7 +62,20 @@ from .reduce import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "MUTANT_BASE",
+    "MUTANT_SLOTS",
     "MUTANT_STRIDE",
+    "QUEUE_LIMIT",
+    "WAVE_WIDTH",
+    "CoverageMap",
+    "CoverageSignature",
+    "decode_mutant",
+    "energy_for",
+    "finding_fingerprint_for",
+    "is_mutant_seed",
+    "mutant_seed",
+    "signature_for",
+    "source_features",
     "FuzzReport",
     "SeedOutcome",
     "fuzz_one",

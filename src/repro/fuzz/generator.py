@@ -37,6 +37,7 @@ from ..minilang import ast_nodes as A
 from ..minilang.parser import parse_program
 from ..minilang.pretty import pretty
 from ..minilang.semantics import check_program
+from ..util.probe import probe
 
 
 class GeneratorError(Exception):
@@ -211,6 +212,14 @@ class _Gen:
     def stmt(self, ctx: _Ctx) -> A.Stmt:
         kind = self._weighted(self._options(ctx))
         rng = self.rng
+        # Coverage probe: which production fired, and in which grammar
+        # context (the _Ctx descent state) — observation only, never part
+        # of the rng stream, so generation stays a pure function of
+        # (seed, GenConfig) whether or not a sink is installed.
+        probe("gen:" + kind
+              + (":par" if ctx.in_parallel else "")
+              + (":ws" if ctx.no_workshare else "")
+              + (":loop" if ctx.in_loop else ""))
         if kind == "assign":
             target = rng.choice(("x", "x", "s"))
             if target == "s":
@@ -306,6 +315,7 @@ class _Gen:
         ctx = _Ctx(depth=self.config.max_depth,
                    callable_helpers=callable_helpers)
         level = self.rng.choice((0, 1, 2, 3, 3))  # bias toward MULTIPLE
+        probe(f"gen:level:{level}")
         prologue: List[A.Stmt] = [
             A.ExprStmt(expr=A.Call(name="MPI_Init_thread",
                                    args=[_lit(level)])),
@@ -329,6 +339,7 @@ def build_program(seed: int, config: GenConfig = GenConfig()) -> A.Program:
     rng = random.Random(seed)
     gen = _Gen(rng, config)
     n_helpers = rng.randint(0, config.max_helpers)
+    probe(f"gen:helpers:{n_helpers}")
     names = [f"helper{i}" for i in range(n_helpers)]
     helpers: List[A.FuncDef] = []
     # helper i may call helpers i+1.. — acyclic, so no unbounded recursion.
@@ -459,11 +470,29 @@ def _replace_first(program: A.Program, old: A.Stmt, new: A.Stmt) -> None:
                     return
 
 
-def mutate(source: str, seed: int) -> str:
+def mutate(source: str, seed: int, rounds: int = 1) -> str:
     """Perturb ``source`` deterministically: pick one mutation site by seed,
     apply it, and return the mutant *iff* it is still well-formed — illegal
     mutants fall through to the next site (in a seed-rotated deterministic
-    order).  Returns ``source`` unchanged when no legal mutation exists."""
+    order).  Returns ``source`` unchanged when no legal mutation exists.
+
+    ``rounds`` is the coverage fuzzer's **energy**: each extra round applies
+    one more mutation to the previous round's output (with a derived rng
+    seed), compounding perturbations the single-step mutator cannot reach.
+    ``rounds=1`` is byte-identical to the historical single-round mutator —
+    the checked-in corpus and the every-``MUTANT_STRIDE``-th-seed contract
+    depend on that."""
+    out = source
+    for round_no in range(max(1, rounds)):
+        step_seed = seed if round_no == 0 else seed * 1_000_003 + round_no
+        nxt = _mutate_once(out, step_seed)
+        if nxt == out:
+            break
+        out = nxt
+    return out
+
+
+def _mutate_once(source: str, seed: int) -> str:
     rng = random.Random(seed)
     try:
         base = parse_program(source, "<mutate>")
@@ -486,5 +515,6 @@ def mutate(source: str, seed: int) -> str:
         _splice(program, pending)
         mutant = pretty(program)
         if mutant != source and _is_well_formed(mutant):
+            probe("mut:" + kind)
             return mutant
     return source

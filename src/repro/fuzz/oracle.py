@@ -50,6 +50,7 @@ from ..minilang.parser import parse_program
 from ..minilang.semantics import check_program
 from ..mpi.thread_levels import ThreadLevel
 from ..runtime.errors import ValidationError
+from ..util.faultinject import fault_site
 
 #: Classification labels (stable strings — they appear in corpus JSON).
 AGREE = "agree"
@@ -180,6 +181,7 @@ def run_oracle(source: str,
 
     Never raises for program-level problems: anything unexpected comes back
     as a ``crash`` verdict with ``crash_detail`` naming the phase."""
+    fault_site("fuzz.oracle")
     # -- front end -----------------------------------------------------------
     try:
         program = parse_program(source, name)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ...minilang import ast_nodes as A
 from ...mpi.collectives import COLLECTIVES
+from ...util.brepr import bounded_repr
 from ..checks import CheckState
 from ..errors import MpiRuntimeError
 from ..simmpi.process import MpiProcess
@@ -98,9 +99,14 @@ class Interpreter:
         return label
 
     def _shared_state(self) -> tuple:
-        """Values of every tracked shared object, for state fingerprints."""
+        """Values of every tracked shared object, for state fingerprints.
+        ``bounded_repr`` digests huge integers (a fuzzed ``x = x * x``
+        loop overflows CPython's 4300-digit int→str limit and would kill
+        the rank thread mid-fingerprint) to bit length + low bits —
+        still deterministic and collision-poor."""
         return tuple(sorted(
-            (label, repr(obj.value) if isinstance(obj, Cell) else repr(obj))
+            (label, bounded_repr(obj.value if isinstance(obj, Cell)
+                                 else obj))
             for label, obj in self._label_objs
         ))
 

@@ -7,10 +7,16 @@
   with backoff, structured failure records.
 * :mod:`repro.util.faultinject` — the deterministic fault-injection
   registry behind ``PARCOACH_FAULTS`` (named sites, hit counts).
+* :mod:`repro.util.probe` — thread-local analysis-path probes, the
+  coverage-guided fuzzer's feedback channel.
+* :func:`repro.util.brepr.bounded_repr` — big-int-safe ``repr`` for the
+  state-fingerprint and observation-hash paths.
 """
 
+from .brepr import bounded_repr
 from .ddmin import ddmin
 from .faultinject import FaultPlan, InjectedFault, fault_site
+from .probe import bucket, collecting, probe, probes_active
 from .resilience import Deadline, DeadlineExceeded, Failure, RetryPolicy, retry
 
 __all__ = [
@@ -20,7 +26,12 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "RetryPolicy",
+    "bounded_repr",
+    "bucket",
+    "collecting",
     "ddmin",
     "fault_site",
+    "probe",
+    "probes_active",
     "retry",
 ]

@@ -42,9 +42,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .resilience import DeadlineExceeded
 
@@ -63,6 +64,7 @@ SITES = frozenset({
     "store.evict",          # before fingerprint eviction from the store
     "serve.emit",           # before a serve/watch response line is written
     "fuzz.seed",            # inside one fuzz seed's oracle body
+    "fuzz.oracle",          # at the start of each differential-oracle run
     "project.manifest_read",  # after a project manifest is read (payload: text)
     "project.shard_lock",   # before a shard lock is taken for a store write
     "project.patch",        # before a line-offset patch of one function
@@ -202,11 +204,46 @@ def active_plan() -> Optional[FaultPlan]:
     return _plan
 
 
+#: Thread idents whose fault-site hits are suppressed.  A fuzz seed that
+#: exceeds its ``--seed-timeout`` keeps running on its (daemon) body thread
+#: — Python threads cannot be killed — and every fault site it reaches
+#: after the timeout would advance the *shared* plan's hit counters,
+#: shifting scheduled faults onto the wrong later seeds.  The campaign
+#: quarantines the zombie's thread ident, turning its ``fault_site`` calls
+#: into no-ops (hits untouched, nothing fires), so the deterministic plan
+#: keeps addressing live seeds only.
+_quarantined: Set[int] = set()
+_quarantine_lock = threading.Lock()
+
+
+def quarantine_thread(ident: Optional[int]) -> None:
+    """Suppress all future fault-site activity of the thread ``ident``."""
+    if ident is None:
+        return
+    with _quarantine_lock:
+        _quarantined.add(ident)
+
+
+def release_quarantine(ident: Optional[int]) -> None:
+    """Lift a quarantine (thread idents are reused by the OS; callers that
+    recycle threads should release stale entries)."""
+    if ident is None:
+        return
+    with _quarantine_lock:
+        _quarantined.discard(ident)
+
+
+def quarantined_count() -> int:
+    return len(_quarantined)
+
+
 def fault_site(site: str, payload=None):
     """The production hook: a no-op returning ``payload`` unless a plan
     schedules a fault for this invocation of ``site``."""
     plan = active_plan()
     if plan is None:
+        return payload
+    if _quarantined and threading.get_ident() in _quarantined:
         return payload
     return plan.fire(site, payload)
 
@@ -222,4 +259,7 @@ __all__ = [
     "clear_plan",
     "fault_site",
     "install_plan",
+    "quarantine_thread",
+    "quarantined_count",
+    "release_quarantine",
 ]
