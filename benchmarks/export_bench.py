@@ -27,7 +27,8 @@ The compact schema::
         "effective_schedules_per_sec": 8000.2, # DFS tree size / dpor time
         "fuzz_programs_per_sec": {"fuzz_oracle": 40.1, ...},  # oracle rate
         "interproc_overhead": {"D32": 1.6, ...},  # interproc / intraproc mean
-        "project_edit_speedup": {"P100": 8.0}   # cold project / one-file edit
+        "project_edit_speedup": {"P100": 8.0},  # cold project / one-file edit
+        "project_assembly_speedup": 1.7         # edit @P1000 / edit @P100
       }
     }
 """
@@ -157,6 +158,12 @@ def compact(raw: dict) -> dict:
     }
     if patch_speedup:
         derived["project_patch_speedup"] = patch_speedup
+    if ("P1000" in project_edit and project_edit.get("P100", 0) > 0):
+        # Per-edit scaling ratio across a 10x project-size jump; gated
+        # <= 2.0 by bench_project.test_project_assembly_scaling_threshold
+        # (O(edit + dependents) assembly, not O(project)).
+        derived["project_assembly_speedup"] = round(
+            project_edit["P1000"] / project_edit["P100"], 2)
     if schedule_rates:
         derived["schedules_per_sec"] = schedule_rates
     if decision_rates:

@@ -17,8 +17,9 @@ from .pipeline import (
     measure_overheads,
     overhead_percent,
 )
-from .scale import (SCALE_SIZES, make_project, make_scale_program,
-                    scale_suite, write_project)
+from .scale import (PROJECT_SIZES, SCALE_SIZES, make_project,
+                    make_scale_program, project_suite, scale_suite,
+                    write_project)
 
 #: The five benchmarks of Figure 1, in the paper's order.
 FIGURE1_BENCHMARKS = ("BT-MZ", "SP-MZ", "LU-MZ", "EPCC suite", "HERA")
@@ -56,9 +57,11 @@ __all__ = [
     "overhead_percent",
     "FIGURE1_BENCHMARKS",
     "benchmark_sources",
+    "PROJECT_SIZES",
     "SCALE_SIZES",
     "make_project",
     "make_scale_program",
+    "project_suite",
     "scale_suite",
     "write_project",
 ]

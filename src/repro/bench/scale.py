@@ -236,6 +236,24 @@ def make_project(n_files: int = 100, funcs_per_file: int = 2,
     return files
 
 
+#: The project-size sweep the project benchmarks chart.  ``P100`` is the
+#: acceptance shape (one seeded cross-file bug, call chains crossing every
+#: file boundary); ``P1000`` (XXL) is the assembly-scaling shape — same
+#: topology at 10x the files, used to gate that a one-file edit stays
+#: O(edit + dependents): the per-edit cost at P1000 must be within 2x of
+#: P100 even though the project is 10x larger.
+PROJECT_SIZES: Dict[str, Dict[str, int]] = {
+    "P100": {"n_files": 100},
+    "P1000": {"n_files": 1000},
+}
+
+
+def project_suite() -> Dict[str, Dict[str, str]]:
+    """Generated file trees for the project-size sweep."""
+    return {name: make_project(**kwargs)
+            for name, kwargs in PROJECT_SIZES.items()}
+
+
 def write_project(files: Dict[str, str], root: str) -> None:
     """Materialize a generated project under ``root``."""
     import os

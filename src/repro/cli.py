@@ -95,6 +95,12 @@ Subcommands::
         plus their cross-file dependent closure; whole-chunk line moves
         take the line-offset patch path (zero engine misses).  See
         ``docs/project-protocol.md``.
+    parcoach project gc DIR [--keep N]
+        prune stale artifact-store generations: the store writes into a
+        per-version directory (``g<format>-<version>``), so upgrades
+        abandon the previous generation's entries — ``gc`` reclaims them,
+        keeping the current generation (plus the ``N`` most recent stale
+        ones with ``--keep``).
     parcoach validate-report [FILE ...]
         validate Report IR documents (``-``/stdin supported; exit 2 on any
         schema or fingerprint violation)
@@ -541,6 +547,26 @@ def _cmd_project_serve(args) -> int:
         return 2
 
 
+def _cmd_project_gc(args) -> int:
+    from .project import ManifestError, ShardedStore, load_manifest
+
+    try:
+        manifest = load_manifest(args.dir, args.file or None)
+    except ManifestError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if manifest.store_path is None:
+        print("store disabled by manifest; nothing to collect",
+              file=sys.stderr)
+        return 0
+    store = ShardedStore(manifest.store_path)
+    gens, entries = store.gc(keep=args.keep)
+    print(f"removed {gens} stale generation(s), {entries} stored "
+          f"entries; current generation {store.generation} holds "
+          f"{store.entries()} entries")
+    return 0
+
+
 def _cmd_validate_report(args) -> int:
     from .core.report import _validate_main
 
@@ -844,6 +870,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "report, then degrade (retry without the "
                          "interprocedural plan, then cold recover)")
     pp.set_defaults(fn=_cmd_project_serve)
+
+    pp = psub.add_parser(
+        "gc",
+        help="prune stale artifact-store generations "
+             "(.parcoach/store/g<format>-<version>)",
+        description="The shared store writes into a per-version generation "
+                    "directory; upgrading the analyzer starts a fresh "
+                    "generation and leaves the old one behind.  'project "
+                    "gc' deletes every stale generation (and any "
+                    "pre-generation shard dirs), keeping the current one "
+                    "and, with --keep N, the N most recently used stale "
+                    "ones.")
+    pp.add_argument("dir", help="project root (parcoach.toml optional)")
+    pp.add_argument("--file", action="append", metavar="PATH",
+                    help="manifest override, as in 'project analyze'")
+    pp.add_argument("--keep", type=int, default=0, metavar="N",
+                    help="also keep the N most recently modified stale "
+                         "generations (default 0)")
+    pp.set_defaults(fn=_cmd_project_gc)
 
     p = sub.add_parser(
         "validate-report",

@@ -46,6 +46,7 @@ module closes the gap with three whole-program passes:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
@@ -116,40 +117,47 @@ class CallGraph:
         return sum(len(e) for e in self.edges.values())
 
 
-def build_call_graph(program: A.Program,
-                     index: Optional[ProgramIndex] = None) -> CallGraph:
-    """Build the program's call graph from *all* call nodes."""
-    if index is None:
-        index = index_program(program)
-    order = [f.name for f in program.funcs]
-    names = set(order)
-    edges: Dict[str, List[CallEdge]] = {name: [] for name in order}
-    callers: Dict[str, List[CallEdge]] = {name: [] for name in order}
+def _derive_edges(name: str, index: ProgramIndex,
+                  names: Set[str]) -> List[CallEdge]:
+    """Call edges of one function, in source order."""
+    edges: List[CallEdge] = []
+    stmt_calls = {id(s.expr): s for s in index.call_stmts.get(name, [])}
+    expr_sites = {id(s.call): s for s in index.expr_calls.get(name, [])}
+    for call in index.calls.get(name, []):
+        if call.name not in names:
+            continue
+        stmt = stmt_calls.get(id(call))
+        if stmt is not None:
+            edge = CallEdge(caller=name, callee=call.name,
+                            anchor_uids=(stmt.uid,), anchor_pos=-1,
+                            line=stmt.line or call.line, expression=False)
+        else:
+            site = expr_sites[id(call)]
+            edge = CallEdge(caller=name, callee=call.name,
+                            anchor_uids=site.stmt_uids,
+                            anchor_pos=site.stmt_pos,
+                            line=site.line, expression=True)
+        edges.append(edge)
+    return edges
 
-    for name in order:
-        stmt_calls = {id(s.expr): s for s in index.call_stmts.get(name, [])}
-        expr_sites = {id(s.call): s for s in index.expr_calls.get(name, [])}
-        for call in index.calls.get(name, []):
-            if call.name not in names:
-                continue
-            stmt = stmt_calls.get(id(call))
-            if stmt is not None:
-                edge = CallEdge(caller=name, callee=call.name,
-                                anchor_uids=(stmt.uid,), anchor_pos=-1,
-                                line=stmt.line or call.line, expression=False)
-            else:
-                site = expr_sites[id(call)]
-                edge = CallEdge(caller=name, callee=call.name,
-                                anchor_uids=site.stmt_uids,
-                                anchor_pos=site.stmt_pos,
-                                line=site.line, expression=True)
-            edges[name].append(edge)
-            callers[call.name].append(edge)
 
+def _entries_of(order: List[str],
+                callers: Dict[str, List[CallEdge]]) -> List[str]:
     entries = [n for n in order if not callers[n] or n == "main"]
     if not entries:  # every function called: fall back to source order head
         entries = order[:1]
+    return entries
 
+
+def _graph_from_edges(order: List[str],
+                      edges: Dict[str, List[CallEdge]]) -> CallGraph:
+    """Assemble a :class:`CallGraph` from per-function edge lists (callers,
+    entries, Tarjan condensation, recursion)."""
+    callers: Dict[str, List[CallEdge]] = {name: [] for name in order}
+    for name in order:
+        for edge in edges[name]:
+            callers[edge.callee].append(edge)
+    entries = _entries_of(order, callers)
     sccs, scc_of = _tarjan(order, edges)
     recursive = frozenset(
         n for scc in sccs for n in scc
@@ -158,6 +166,112 @@ def build_call_graph(program: A.Program,
     return CallGraph(order=order, edges=edges, callers=callers,
                      entries=entries, sccs=sccs, scc_of=scc_of,
                      recursive=recursive)
+
+
+def build_call_graph(program: A.Program,
+                     index: Optional[ProgramIndex] = None) -> CallGraph:
+    """Build the program's call graph from *all* call nodes."""
+    if index is None:
+        index = index_program(program)
+    order = [f.name for f in program.funcs]
+    names = set(order)
+    edges = {name: _derive_edges(name, index, names) for name in order}
+    return _graph_from_edges(order, edges)
+
+
+@dataclass
+class GraphPatch:
+    """Result of :func:`update_call_graph`."""
+
+    graph: CallGraph
+    #: Functions whose edges were re-derived from the index.
+    edges_recomputed: int
+    #: True when the SCC condensation had to be rebuilt from scratch.
+    rebuilt: bool
+
+
+def update_call_graph(prev: CallGraph, program: A.Program,
+                      index: ProgramIndex,
+                      changed: Set[str],
+                      order: Optional[List[str]] = None,
+                      names: Optional[Set[str]] = None) -> GraphPatch:
+    """Delta-update ``prev`` for a program where only ``changed`` functions
+    have new bodies (same function *set* or not — additions/removals force a
+    condensation rebuild, still re-deriving edges only for ``changed``).
+
+    Never mutates ``prev`` — returns a new :class:`CallGraph` sharing the
+    edge lists of unchanged functions.  On the patch path the SCC list keeps
+    its previous ordering (still a valid reverse-topological order, checked
+    edge by edge) and ``callers`` lists are order-unspecified; no consumer
+    depends on either beyond validity.
+
+    ``order``/``names`` short-circuit the O(program) name-list walk when the
+    caller already holds them; passing ``prev.order`` as ``order`` asserts
+    the function list (names and positions) is unchanged, which also skips
+    the name-set comparison.
+    """
+    if order is None:
+        order = [f.name for f in program.funcs]
+    if names is None:
+        names = set(order)
+    changed = {n for n in changed if n in names}
+    new_edges = {n: _derive_edges(n, index, names) for n in changed}
+
+    rebuild = False if order is prev.order else names != set(prev.edges)
+    if not rebuild:
+        for name in changed:
+            old_pairs = {(e.caller, e.callee) for e in prev.edges[name]}
+            cur_pairs = {(e.caller, e.callee) for e in new_edges[name]}
+            for u, v in cur_pairs - old_pairs:
+                su, sv = prev.scc_of[u], prev.scc_of[v]
+                # A new edge is safe iff it stays inside one SCC or points
+                # from a later SCC to an earlier one (callees first): either
+                # way the condensation and its order remain valid.
+                if su != sv and not sv < su:
+                    rebuild = True
+            for u, v in old_pairs - cur_pairs:
+                # Removing an intra-SCC edge can split the component.
+                if prev.scc_of[u] == prev.scc_of[v]:
+                    rebuild = True
+
+    if rebuild:
+        edges = {n: new_edges[n] if n in changed else prev.edges[n]
+                 for n in order}
+        return GraphPatch(graph=_graph_from_edges(order, edges),
+                          edges_recomputed=len(changed), rebuilt=True)
+
+    edges = dict(prev.edges)
+    callers = dict(prev.callers)
+    touched_callees: Set[str] = set()
+    for name in changed:
+        touched_callees.update(e.callee for e in prev.edges[name])
+        touched_callees.update(e.callee for e in new_edges[name])
+        edges[name] = new_edges[name]
+    for callee in touched_callees:
+        kept = [e for e in prev.callers[callee] if e.caller not in changed]
+        for name in sorted(changed):
+            kept.extend(e for e in new_edges[name] if e.callee == callee)
+        callers[callee] = kept
+    # Entry membership only depends on caller-list *emptiness* (and the
+    # "main" special case, which no edge change can affect).
+    if any(bool(callers[c]) != bool(prev.callers.get(c, ()))
+           for c in touched_callees):
+        entries = _entries_of(order, callers)
+    else:
+        entries = prev.entries
+    recursive = prev.recursive
+    for name in changed:
+        scc = prev.sccs[prev.scc_of[name]]
+        is_rec = len(scc) > 1 or any(e.callee == name for e in edges[name])
+        if is_rec and name not in recursive:
+            recursive = recursive | {name}
+        elif not is_rec and name in recursive:
+            recursive = recursive - {name}
+    graph = CallGraph(order=order, edges=edges, callers=callers,
+                      entries=entries, sccs=prev.sccs, scc_of=prev.scc_of,
+                      recursive=recursive)
+    return GraphPatch(graph=graph, edges_recomputed=len(changed),
+                      rebuilt=False)
 
 
 def _tarjan(order: List[str],
@@ -255,11 +369,19 @@ class ContextMap:
     chains: Dict[Tuple[str, Word], Tuple[str, ...]]
     #: Functions whose context set hit MAX_CONTEXTS / MAX_CONTEXT_LEN.
     saturated: FrozenSet[str] = frozenset()
+    #: (function, word) -> the ``(callee, canonical word at the call)`` tuple
+    #: this evaluation handed to its edges, in edge order.  Recorded only
+    #: when ``record_transfers`` was requested; the session layer compares a
+    #: changed function's recomputed transfers against these to decide
+    #: whether the whole fixpoint can be reused verbatim.
+    transfers: Optional[Dict[Tuple[str, Word],
+                             Tuple[Tuple[str, Word], ...]]] = None
 
 
 def propagate_contexts(program: A.Program, graph: CallGraph,
                        seeds: Optional[Dict[str, Word]] = None,
-                       entry_context: Word = EMPTY) -> ContextMap:
+                       entry_context: Word = EMPTY,
+                       record_transfers: bool = False) -> ContextMap:
     """Worklist fixpoint over the call graph.
 
     ``entry_context`` seeds every entry function (the CLI's
@@ -292,21 +414,30 @@ def propagate_contexts(program: A.Program, graph: CallGraph,
         if name in seeds:
             add(name, canonical_word(seeds[name]), (name,))
 
+    transfers: Optional[Dict[Tuple[str, Word], Tuple[Tuple[str, Word], ...]]]
+    transfers = {} if record_transfers else None
     word_cache: Dict[Tuple[str, Word], Dict[int, Word]] = {}
     while worklist:
         name, word = worklist.popleft()
-        if not graph.edges[name]:
-            continue
         key = (name, word)
+        if not graph.edges[name]:
+            if transfers is not None:
+                transfers[key] = ()
+            continue
         words = word_cache.get(key)
         if words is None:
             words = compute_words(funcs[name], word).words
             word_cache[key] = words
         chain = contexts[name][word]
+        sent: List[Tuple[str, Word]] = []
         for edge in graph.edges[name]:
             anchor = next((u for u in edge.anchor_uids if u in words), None)
             at_call = words[anchor] if anchor is not None else word
-            add(edge.callee, canonical_word(at_call), chain + (edge.callee,))
+            canon = canonical_word(at_call)
+            sent.append((edge.callee, canon))
+            add(edge.callee, canon, chain + (edge.callee,))
+        if transfers is not None:
+            transfers[key] = tuple(sent)
 
     fallback = canonical_word(entry_context)
     for name in graph.order:
@@ -323,7 +454,62 @@ def propagate_contexts(program: A.Program, graph: CallGraph,
         for word, chain in words.items()
     }
     return ContextMap(contexts=ordered, chains=chains,
-                      saturated=frozenset(saturated))
+                      saturated=frozenset(saturated), transfers=transfers)
+
+
+def contexts_reusable(prev: ContextMap, prev_graph: CallGraph,
+                      graph: CallGraph, program: A.Program,
+                      changed: Set[str],
+                      funcs: Optional[Dict[str, A.FuncDef]] = None) -> bool:
+    """True when the context fixpoint recorded in ``prev`` is still exact
+    for a program where only ``changed`` functions have new bodies.
+
+    The propagation is deterministic in its inputs: the seed sequence
+    (``graph.order`` restricted to entries/seeds) and, per evaluated
+    ``(function, word)`` pair, the ``(callee, word-at-call)`` transfers it
+    emits.  Unchanged functions emit identical transfers by construction
+    (same body, same shared edge lists), so if every changed function's
+    recomputed transfers match the recorded ones — for exactly the words it
+    was evaluated under — the whole fixpoint replays identically and
+    ``prev`` (contexts, witness chains, saturation) is valid verbatim.
+
+    Callers must additionally ensure the ``seeds``/``entry_context`` inputs
+    are unchanged; this function checks the graph-shape inputs
+    (``order``/``entries``) and the transfer behavior.  ``funcs`` optionally
+    supplies a name->FuncDef mapping (current bodies; only ``changed`` names
+    are looked up), skipping the O(program) map build.
+    """
+    if prev.transfers is None:
+        return False
+    if graph.order != prev_graph.order or graph.entries != prev_graph.entries:
+        return False
+    if funcs is None:
+        funcs = {f.name: f for f in program.funcs}
+    for name in changed:
+        contexts = prev.contexts.get(name)
+        if contexts is None:
+            return False
+        edges = graph.edges[name]
+        for word in contexts:
+            recorded = prev.transfers.get((name, word))
+            if recorded is None:
+                # Fallback context added after the fixpoint drained: never
+                # evaluated, so the new body cannot diverge through it.
+                continue
+            if not edges:
+                if recorded != ():
+                    return False
+                continue
+            words = compute_words(funcs[name], word).words
+            sent = []
+            for edge in edges:
+                anchor = next((u for u in edge.anchor_uids if u in words),
+                              None)
+                at_call = words[anchor] if anchor is not None else word
+                sent.append((edge.callee, canonical_word(at_call)))
+            if tuple(sent) != recorded:
+                return False
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -531,6 +717,30 @@ def _build_cfg_facts(func: A.FuncDef, names: Set[str],
     return _CfgFacts(cfg=cfg, direct=direct, user_calls=tuple(user_calls))
 
 
+def _recompute_summary(name: str, funcs: Dict[str, A.FuncDef],
+                       names: Set[str],
+                       summaries: Dict[str, FunctionSummary],
+                       index: ProgramIndex,
+                       cfg_facts: Dict[str, _CfgFacts]) -> Dict[str, str]:
+    """One summary evaluation for ``name`` given the current ``summaries``
+    of its callees: structural walk plus the CFG post-dominance upgrade."""
+    may, must, _exit = _summarize_block(funcs[name].body.stmts,
+                                        summaries, names)
+    if may - must:
+        facts = cfg_facts.get(name)
+        if facts is None:
+            facts = cfg_facts[name] = _build_cfg_facts(funcs[name], names,
+                                                       index)
+        for cname in sorted(may - must):
+            blocked = set(facts.direct.get(cname, ()))
+            for callee, block in facts.user_calls:
+                if summaries[callee].collectives.get(cname) == ALWAYS:
+                    blocked.add(block)
+            if blocked and not _exit_reachable_avoiding(facts.cfg, blocked):
+                must.add(cname)
+    return {n: (ALWAYS if n in must else CONDITIONAL) for n in sorted(may)}
+
+
 def collective_summaries(program: A.Program,
                          graph: Optional[CallGraph] = None,
                          index: Optional[ProgramIndex] = None,
@@ -567,21 +777,8 @@ def collective_summaries(program: A.Program,
     cfg_facts: Dict[str, _CfgFacts] = {}
 
     def recompute(name: str) -> Dict[str, str]:
-        may, must, _exit = _summarize_block(funcs[name].body.stmts,
-                                            summaries, names)
-        if may - must:
-            facts = cfg_facts.get(name)
-            if facts is None:
-                facts = cfg_facts[name] = _build_cfg_facts(funcs[name], names,
-                                                           index)
-            for cname in sorted(may - must):
-                blocked = set(facts.direct.get(cname, ()))
-                for callee, block in facts.user_calls:
-                    if summaries[callee].collectives.get(cname) == ALWAYS:
-                        blocked.add(block)
-                if blocked and not _exit_reachable_avoiding(facts.cfg, blocked):
-                    must.add(cname)
-        return {n: (ALWAYS if n in must else CONDITIONAL) for n in sorted(may)}
+        return _recompute_summary(name, funcs, names, summaries, index,
+                                  cfg_facts)
 
     for scc in graph.sccs:  # reverse topological: callees already final
         members = list(scc)
@@ -617,6 +814,86 @@ def collective_summaries(program: A.Program,
             for cls in summary.collectives.values():
                 probe("cg:summary:" + cls)
     return summaries
+
+
+def update_summaries(program: A.Program, graph: CallGraph,
+                     index: ProgramIndex,
+                     prev: Dict[str, FunctionSummary],
+                     dirty: Set[str],
+                     funcs: Optional[Dict[str, A.FuncDef]] = None,
+                     names: Optional[Set[str]] = None,
+                     complete: bool = False
+                     ) -> Tuple[Dict[str, FunctionSummary], Set[str]]:
+    """Scoped re-summarization: recompute only the SCCs containing ``dirty``
+    names, then walk *up* the caller DAG exactly as far as summaries really
+    change — O(dirty + changed-summary ancestors), not O(program).
+
+    Unlike the incremental mode of :func:`collective_summaries` (which still
+    visits every SCC to decide clean/dirty), this never touches an SCC that
+    cannot be affected.  Recomputed members get *fresh*
+    :class:`FunctionSummary` objects (``prev`` is never mutated); cyclic
+    SCCs restart from the optimistic bottom so the least fixpoint matches a
+    cold run byte for byte.  Returns ``(summaries, changed_names)`` where
+    ``changed_names`` is every function whose summary differs from ``prev``.
+
+    ``funcs`` (name -> current FuncDef) and ``names`` skip the O(program)
+    map builds when the caller holds them; ``complete=True`` asserts every
+    current function already has an entry in ``prev`` (no additions), which
+    replaces the per-name seeding loop with one plain dict copy.
+    """
+    if funcs is None:
+        funcs = {f.name: f for f in program.funcs}
+    if names is None:
+        names = set(funcs)
+    if complete:
+        summaries = dict(prev)
+        pending = {n for n in dirty if n in names}
+    else:
+        summaries = {}
+        for n in graph.order:
+            known = prev.get(n)
+            summaries[n] = known if known is not None else FunctionSummary()
+        pending = {n for n in dirty if n in names}
+        pending.update(n for n in names if n not in prev)
+    cfg_facts: Dict[str, _CfgFacts] = {}
+    heap = sorted({graph.scc_of[n] for n in pending})
+    queued = set(heap)
+    changed_names: Set[str] = set()
+    # Ascending SCC index == reverse topological order, so every SCC is
+    # final before any of its callers is processed (changes only propagate
+    # toward strictly larger indices); each SCC is visited at most once.
+    while heap:
+        si = heapq.heappop(heap)
+        members = graph.sccs[si]
+        if len(members) == 1 and members[0] not in graph.recursive:
+            name = members[0]
+            fresh = FunctionSummary()
+            summaries[name] = fresh
+            fresh.collectives = _recompute_summary(name, funcs, names,
+                                                   summaries, index,
+                                                   cfg_facts)
+        else:
+            for m in members:
+                summaries[m] = FunctionSummary()
+            iterating = True
+            while iterating:
+                iterating = False
+                for m in members:
+                    new = _recompute_summary(m, funcs, names, summaries,
+                                             index, cfg_facts)
+                    if new != summaries[m].collectives:
+                        summaries[m].collectives = new
+                        iterating = True
+        for m in members:
+            old = prev.get(m)
+            if old is None or summaries[m].collectives != old.collectives:
+                changed_names.add(m)
+                for edge in graph.callers.get(m, ()):
+                    ci = graph.scc_of[edge.caller]
+                    if ci != si and ci not in queued:
+                        heapq.heappush(heap, ci)
+                        queued.add(ci)
+    return summaries, changed_names
 
 
 # ---------------------------------------------------------------------------

@@ -224,6 +224,49 @@ def build_plan(program: A.Program, index: ProgramIndex,
                                extra_tokens=extra_tokens)
 
 
+def update_plan(prev: InterproceduralPlan,
+                graph: CallGraph,
+                contexts: ContextMap,
+                summaries: Dict[str, FunctionSummary],
+                dirty: Set[str],
+                removed: Set[str]) -> InterproceduralPlan:
+    """Delta version of :func:`build_plan`'s expression-call sequence-point
+    tail: recompute the extra points only for ``dirty`` functions (changed
+    bodies plus callers of functions whose collective summary flipped) and
+    drop ``removed`` ones; everything else is carried over from ``prev``.
+    The whole-program passes (graph / contexts / summaries) are supplied
+    already updated by the session layer."""
+    extra_points = dict(prev.extra_points)
+    extra_tokens = dict(prev.extra_tokens)
+    for name in removed:
+        extra_points.pop(name, None)
+        extra_tokens.pop(name, None)
+    for name in dirty:
+        if name not in graph.edges:
+            extra_points.pop(name, None)
+            extra_tokens.pop(name, None)
+            continue
+        points: List[ExtraPoint] = []
+        token: List[Tuple[int, str]] = []
+        for edge in graph.edges[name]:
+            if not edge.expression:
+                continue
+            if not summaries[edge.callee].collectives:
+                continue
+            points.append((edge.anchor_uids, f"call:{edge.callee}"))
+            token.append((edge.anchor_pos, f"call:{edge.callee}"))
+        if points:
+            extra_points[name] = tuple(points)
+            extra_tokens[name] = tuple(sorted(token))
+        else:
+            extra_points.pop(name, None)
+            extra_tokens.pop(name, None)
+    return InterproceduralPlan(graph=graph, contexts=contexts,
+                               summaries=summaries,
+                               extra_points=extra_points,
+                               extra_tokens=extra_tokens)
+
+
 # ---------------------------------------------------------------------------
 # Per-function pipeline (pure — no shared state, process-pool friendly)
 # ---------------------------------------------------------------------------

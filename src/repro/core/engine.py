@@ -121,6 +121,18 @@ class EngineStats:
     #: callee's summary or context made the cache key move), not their own
     #: body — counted by the session layer.
     dependency_invalidations: int = 0
+    #: Open files whose merged-program contribution (function list,
+    #: fingerprints, signatures) was reused verbatim across a session update
+    #: instead of being rebuilt — counted by the session layer.
+    assembly_reuses: int = 0
+    #: Functions whose call edges were re-derived by the incremental call
+    #: graph (:func:`repro.core.callgraph.update_call_graph`) — everyone
+    #: else's edge lists were shared with the previous graph.
+    edges_recomputed: int = 0
+    #: Incremental call-graph updates that fell back to a full SCC
+    #: condensation rebuild (an edge changed SCC membership or the function
+    #: set changed).
+    graph_rebuilds: int = 0
     #: Functions analyzed in worker processes.
     parallel_tasks: int = 0
     #: Process-pool infrastructure failures (BrokenProcessPool, a dead or
@@ -165,6 +177,9 @@ class EngineStats:
             "remap_fallbacks": self.remap_fallbacks,
             "evictions": self.evictions,
             "dependency_invalidations": self.dependency_invalidations,
+            "assembly_reuses": self.assembly_reuses,
+            "edges_recomputed": self.edges_recomputed,
+            "graph_rebuilds": self.graph_rebuilds,
             "parallel_tasks": self.parallel_tasks,
             "pool_failures": self.pool_failures,
             "pool_respawns": self.pool_respawns,
@@ -182,6 +197,7 @@ class EngineStats:
         kwargs = {f: int(data[f]) for f in (
             "programs", "functions", "hits", "misses", "lazy_hits", "remaps",
             "remap_fallbacks", "evictions", "dependency_invalidations",
+            "assembly_reuses", "edges_recomputed", "graph_rebuilds",
             "parallel_tasks", "pool_failures", "pool_respawns",
             "degraded_serial", "line_patches", "store_hits", "store_misses",
             "store_writes",
@@ -230,8 +246,10 @@ def _version(func: A.FuncDef) -> int:
 #: the *same object* is re-analyzed, so entries from one-shot parses (e.g.
 #: `parcoach batch`, which re-parses per file) are dead weight — evict
 #: oldest-first instead of pinning every AST ever seen for the engine's
-#: lifetime.
-_IDENTITY_MEMO_LIMIT = 4096
+#: lifetime.  The limit must exceed the function count of the largest
+#: project held live in one session (the XXL bench shape is 1000 files
+#: x ~8 functions), or every whole-project pass thrashes the memos.
+_IDENTITY_MEMO_LIMIT = 65536
 _PROGRAM_MEMO_LIMIT = 64
 
 
@@ -361,11 +379,16 @@ class LazyProgramAnalysis:
     ``ProgramAnalysis`` everywhere short of ``isinstance`` checks.
     """
 
-    __slots__ = ("_thunk", "_analysis")
+    __slots__ = ("_thunk", "_analysis", "merge_one")
 
-    def __init__(self, thunk) -> None:
+    def __init__(self, thunk, merge_one=None) -> None:
         self._thunk = thunk
         self._analysis = None
+        #: Per-function merge hook: ``merge_one(func) -> (artifacts,
+        #: context_words, word_infos)`` — lets the session layer assemble a
+        #: single function's merged artifacts (materializing only *its*
+        #: pending remaps) without forcing the whole program analysis.
+        self.merge_one = merge_one
 
     @property
     def materialized(self) -> bool:
@@ -457,6 +480,10 @@ class AnalysisEngine:
         #: Per-function record of the most recent :meth:`analyze` call.
         self.last = AnalyzeRecord()
         self._cache: Dict[_Key, _CacheEntry] = {}
+        #: fingerprint -> set of cache keys with that fingerprint, so
+        #: invalidation and line-patch re-keying are O(affected entries)
+        #: instead of a scan of the whole cache per edited function.
+        self._by_fp: Dict[str, set] = {}
         #: id(func) -> (func, structure_version, fingerprint): skips hashing
         #: when the very same AST object is re-analyzed (warm batch loops).
         self._identity: Dict[int, Tuple[A.FuncDef, int, str]] = {}
@@ -496,9 +523,22 @@ class AnalysisEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._by_fp.clear()
         self._identity.clear()
         self._programs.clear()
         self._func_index.clear()
+
+    def _cache_put(self, key: _Key, entry: _CacheEntry) -> None:
+        self._cache[key] = entry
+        self._by_fp.setdefault(key[0], set()).add(key)
+
+    def _cache_del(self, key: _Key) -> None:
+        del self._cache[key]
+        keys = self._by_fp.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_fp[key[0]]
 
     def invalidate_fingerprints(self, fingerprints) -> int:
         """Drop every cache entry whose function fingerprint is in
@@ -512,9 +552,9 @@ class AnalysisEngine:
         if not doomed:
             return 0
         fault_site("store.evict")
-        victims = [k for k in self._cache if k[0] in doomed]
+        victims = [k for fp in doomed for k in self._by_fp.get(fp, ())]
         for key in victims:
-            del self._cache[key]
+            self._cache_del(key)
         self.stats.evictions += len(victims)
         return len(victims)
 
@@ -537,7 +577,7 @@ class AnalysisEngine:
         self.stats.store_hits += 1
         entry = _CacheEntry(artifacts=art, version=_version(art.func),
                             key=key, uid_at_pos=tuple(uid_at_pos))
-        self._cache[key] = entry
+        self._cache_put(key, entry)
         return entry
 
     # -- line-offset patching --------------------------------------------------
@@ -566,8 +606,9 @@ class AnalysisEngine:
         patched_trees = {id(func)}
         patched_arts: set = set()
         moved = 0
-        for key in [k for k in self._cache if k[0] == old_fp]:
-            entry = self._cache.pop(key)
+        for key in list(self._by_fp.get(old_fp, ())):
+            entry = self._cache[key]
+            self._cache_del(key)
             art = entry.artifacts
             if id(art) not in patched_arts:
                 patched_arts.add(id(art))
@@ -580,7 +621,7 @@ class AnalysisEngine:
                 _shift_artifact_lines(art, delta)
             new_key: _Key = (new_fp,) + key[1:]
             entry.key = new_key
-            self._cache[new_key] = entry
+            self._cache_put(new_key, entry)
             moved += 1
         self.stats.line_patches += 1
         return moved
@@ -620,6 +661,80 @@ class AnalysisEngine:
         _evict_oldest(self._programs, _PROGRAM_MEMO_LIMIT)
         return memo
 
+    def update_program_facts(self, prev_program: A.Program,
+                             program: A.Program, changed, removed,
+                             collective_funcs=None,
+                             index=None,
+                             changed_positions=None) -> _ProgramMemo:
+        """Derive ``program``'s facts memo from ``prev_program``'s by delta:
+        only functions named in ``changed`` have new bodies, ``removed``
+        names are gone, everything else reuses the previous program's
+        :class:`~repro.minilang.ast_nodes.FuncDef` objects (so their index
+        entries hit the per-function memo instead of re-walking trees).
+
+        ``collective_funcs`` short-circuits the collective reachability
+        fixpoint — the session layer maintains the set incrementally from
+        its summaries — and ``index`` short-circuits re-indexing when the
+        caller already holds the new program's index.
+        ``changed_positions`` (``[(pos, func), ...]``) names the exact
+        positions in ``program.funcs`` holding new objects, turning the
+        version splice into O(changed) list patching instead of an
+        O(program) zip.  The requested thread
+        level is only re-derived when a touched function mentions
+        ``MPI_Init``/``MPI_Init_thread`` before or after the edit.  Falls
+        back to :meth:`_program_facts` when there is no valid memo for
+        ``prev_program``."""
+        memo = self._programs.get(id(prev_program))
+        if memo is None or memo.program is not prev_program:
+            facts = self._program_facts(program)
+            if collective_funcs is not None:
+                facts.collective_funcs = collective_funcs
+            return facts
+        if index is None:
+            index = index_program(program, memo=self._func_index)
+            _evict_oldest(self._func_index, _IDENTITY_MEMO_LIMIT)
+        funcs = tuple(program.funcs)
+
+        def mentions_init(calls) -> bool:
+            return any(c.name in ("MPI_Init", "MPI_Init_thread")
+                       for c in calls or ())
+
+        requested = memo.requested
+        for name in set(changed) | set(removed):
+            if (mentions_init(memo.index.calls.get(name))
+                    or mentions_init(index.calls.get(name))):
+                requested = _find_requested_level(index)
+                break
+        if collective_funcs is None:
+            collective_funcs = collective_call_graph(program, index)
+        if (not removed and len(funcs) == len(memo.funcs)
+                and all(n in memo.func_names for n in changed)):
+            # Same name set, positionally aligned: splice versions (only
+            # changed positions hold new objects) and share the name set.
+            if changed_positions is not None:
+                spliced = list(memo.versions)
+                for pos, func in changed_positions:
+                    spliced[pos] = _version(func)
+                versions = tuple(spliced)
+            else:
+                versions = tuple(v if a is b else _version(b)
+                                 for a, b, v in zip(memo.funcs, funcs,
+                                                    memo.versions))
+            func_names = memo.func_names
+        else:
+            versions = tuple(_version(f) for f in funcs)
+            func_names = {f.name for f in funcs}
+        fresh = _ProgramMemo(
+            program=program, funcs=funcs,
+            versions=versions, index=index,
+            collective_funcs=collective_funcs,
+            func_names=func_names,
+            requested=requested,
+        )
+        self._programs[id(program)] = fresh
+        _evict_oldest(self._programs, _PROGRAM_MEMO_LIMIT)
+        return fresh
+
     def _plan_for(self, memo: _ProgramMemo, program: A.Program,
                   initial_words: Dict[str, Word],
                   entry_context: Word) -> InterproceduralPlan:
@@ -643,6 +758,9 @@ class AnalysisEngine:
         entry_context: Word = EMPTY,
         plan: Optional[InterproceduralPlan] = None,
         deadline: Optional[Deadline] = None,
+        facts: Optional[_ProgramMemo] = None,
+        scope: Optional[set] = None,
+        scope_funcs: Optional[List[A.FuncDef]] = None,
     ) -> ProgramAnalysis:
         """Drop-in replacement for :func:`analyze_program` with memoization
         and optional parallel fan-out.  Same signature, same rendered
@@ -660,11 +778,20 @@ class AnalysisEngine:
         here), but the per-uid remap of reparse hits plus the per-context
         merge and program-level synthesis are deferred until the result is
         first inspected.  A reparse hit whose result is never rendered does
-        zero per-uid remap work."""
+        zero per-uid remap work.
+
+        ``facts`` injects a program-facts memo the caller maintained by
+        delta (:meth:`update_program_facts`), skipping the validity check.
+        ``scope`` restricts the per-function loop — cache probing, miss
+        analysis, stats — to the named functions; a scoped result cannot be
+        forced into a whole-program analysis (``force`` raises
+        ``RuntimeError``), only its ``merge_one`` hook may be used.
+        ``scope_funcs`` optionally supplies the scope's function objects
+        directly, skipping the O(program) filter over ``program.funcs``."""
         initial_words = initial_words or {}
         self.stats.programs += 1
         self.last = record = AnalyzeRecord()
-        memo = self._program_facts(program)
+        memo = facts if facts is not None else self._program_facts(program)
         index, collective_funcs = memo.index, memo.collective_funcs
         func_names = memo.func_names
         if not interprocedural:
@@ -677,7 +804,13 @@ class AnalysisEngine:
         #: (func, key, word, call_stmts, prebuilt, extra) per cache miss.
         pending: List[tuple] = []
         func_words: Dict[str, Tuple[Word, ...]] = {}
-        for func in program.funcs:
+        if scope is None:
+            scoped_funcs = program.funcs
+        elif scope_funcs is not None:
+            scoped_funcs = scope_funcs
+        else:
+            scoped_funcs = [f for f in program.funcs if f.name in scope]
+        for func in scoped_funcs:
             self.stats.functions += 1
             call_stmts = index.call_stmts.get(func.name)
             prebuilt = cfgs.get(func.name) if cfgs is not None else None
@@ -723,7 +856,7 @@ class AnalysisEngine:
                     continue
                 if entry is not None:
                     # Stale: the cached AST was mutated after analysis.
-                    del self._cache[key]
+                    self._cache_del(key)
                 if self.store is not None:
                     entry = self._load_from_store(key)
                     if entry is not None:
@@ -744,33 +877,39 @@ class AnalysisEngine:
         self._run_pending(pending, func_names, collective_funcs,
                           precision, artifacts, deadline=deadline)
 
+        def merge_one(func: A.FuncDef):
+            words = func_words[func.name]
+            if plan is not None:
+                chains = {w: plan.contexts.chains.get((func.name, w), ())
+                          for w in words}
+            else:
+                chains = {}
+            parts = []
+            for w in words:
+                art = artifacts[(func.name, w)]
+                if isinstance(art, _PendingRemap):
+                    art = self._materialize(art, func_names,
+                                            collective_funcs, precision)
+                    artifacts[(func.name, w)] = art
+                parts.append((w, art))
+            return _merge_artifacts(parts, chains)
+
         def materialize() -> ProgramAnalysis:
+            if scope is not None:
+                raise RuntimeError(
+                    "a scope-restricted analyze() result cannot be forced "
+                    "into a whole-program analysis; use merge_one")
             merged: Dict[str, FunctionArtifacts] = {}
             context_info: Dict[str, Tuple[Tuple[Word, ...],
                                           Tuple[WordInfo, ...]]] = {}
             for func in program.funcs:
-                words = func_words[func.name]
-                if plan is not None:
-                    chains = {w: plan.contexts.chains.get((func.name, w), ())
-                              for w in words}
-                else:
-                    chains = {}
-                parts = []
-                for w in words:
-                    art = artifacts[(func.name, w)]
-                    if isinstance(art, _PendingRemap):
-                        art = self._materialize(art, func_names,
-                                                collective_funcs, precision)
-                        artifacts[(func.name, w)] = art
-                    parts.append((w, art))
-                merged[func.name], ctx_words, infos = _merge_artifacts(parts,
-                                                                      chains)
+                merged[func.name], ctx_words, infos = merge_one(func)
                 context_info[func.name] = (ctx_words, infos)
             return _assemble(program, index, collective_funcs, merged,
                              precision, instrument_all, memo.requested,
                              plan=plan, context_info=context_info)
 
-        return LazyProgramAnalysis(materialize)
+        return LazyProgramAnalysis(materialize, merge_one=merge_one)
 
     def _materialize(self, pending: _PendingRemap, func_names, collective_funcs,
                      precision: str) -> FunctionArtifacts:
@@ -791,9 +930,9 @@ class AnalysisEngine:
                                 pending.word, precision, pending.call_stmts,
                                 None, pending.extra)
         if self.cache_enabled and self._cache.get(entry.key) is entry:
-            self._cache[entry.key] = _CacheEntry(
+            self._cache_put(entry.key, _CacheEntry(
                 artifacts=art, version=_version(art.func), key=entry.key,
-                uid_at_pos=tuple(n.uid for n in art.func.walk()))
+                uid_at_pos=tuple(n.uid for n in art.func.walk())))
         return art
 
     def _pool_map(self, payloads,
@@ -874,9 +1013,9 @@ class AnalysisEngine:
                 if seq is None:
                     seq = tuple(n.uid for n in art.func.walk())
                     uid_seqs[id(art.func)] = seq
-                self._cache[key] = _CacheEntry(
+                self._cache_put(key, _CacheEntry(
                     artifacts=art, version=_version(art.func), key=key,
-                    uid_at_pos=seq)
+                    uid_at_pos=seq))
                 if self.store is not None:
                     try:
                         self.store.save(key, art, seq)

@@ -182,14 +182,16 @@ def collective_call_graph(program: A.Program,
         func_calls = index.calls.get(name, [])
         direct[name] = any(is_collective(c.name) for c in func_calls)
         calls[name] = {c.name for c in func_calls if c.name in funcs}
+    callers: dict = {}
+    for name, callees in calls.items():
+        for callee in callees:
+            callers.setdefault(callee, []).append(name)
     result = {name for name, has in direct.items() if has}
-    changed = True
-    while changed:
-        changed = False
-        for name in funcs:
-            if name in result:
-                continue
-            if calls[name] & result:
-                result.add(name)
-                changed = True
+    worklist = list(result)
+    while worklist:
+        member = worklist.pop()
+        for caller in callers.get(member, ()):
+            if caller not in result:
+                result.add(caller)
+                worklist.append(caller)
     return result

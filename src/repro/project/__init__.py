@@ -17,15 +17,18 @@ format: ``docs/project-protocol.md``.
 
 from .manifest import MANIFEST_NAME, ManifestError, ProjectManifest, load_manifest
 from .session import ProjectSession, ProjectUpdate, run_project_serve
-from .store import ShardedStore
+from .store import ANALYSIS_VERSION, STORE_FORMAT, ShardedStore, store_generation
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "MANIFEST_NAME",
     "ManifestError",
     "ProjectManifest",
     "ProjectSession",
     "ProjectUpdate",
+    "STORE_FORMAT",
     "ShardedStore",
     "load_manifest",
     "run_project_serve",
+    "store_generation",
 ]

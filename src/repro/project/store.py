@@ -8,14 +8,24 @@ module persists that store so *parallel* sessions on one machine — several
 a warm daemon — share warm artifacts instead of re-analyzing the same
 function bodies.
 
-Layout: one directory per fingerprint prefix (``<root>/<fp[:2]>/``), one
-pickle file per cache key inside it.  Writes take a per-shard ``flock`` and
-go through a temp file + atomic ``os.replace``; reads are lock-free — a
-rename is atomic, so a reader sees either the old bytes or the new bytes,
-never a torn file, and any unpicklable/corrupt/mismatched entry is treated
-as a miss.  Content addressing makes entries immutable: two sessions that
-race to write the same key write the same artifacts, so last-writer-wins
-is correct.
+Layout: one directory per *generation* (``<root>/<generation>/``), one
+directory per fingerprint prefix inside it (``.../<fp[:2]>/``), one pickle
+file per cache key inside that.  The generation name encodes the payload
+layout and the analysis semantics (``g<STORE_FORMAT>-<ANALYSIS_VERSION>``),
+so sessions running different code versions never read each other's
+entries: a version bump simply starts writing into a fresh generation
+directory, and the stale generations sit untouched until
+``parcoach project gc`` prunes them.  Entries additionally stamp both
+versions into the payload — a mismatched entry (hand-copied across
+generations, or written by a pre-generation layout) is unlinked and treated
+as a miss.
+
+Writes take a per-shard ``flock`` and go through a temp file + atomic
+``os.replace``; reads are lock-free — a rename is atomic, so a reader sees
+either the old bytes or the new bytes, never a torn file, and any
+unpicklable/corrupt/mismatched entry is treated as a miss.  Content
+addressing makes entries immutable: two sessions that race to write the
+same key write the same artifacts, so last-writer-wins is correct.
 """
 
 from __future__ import annotations
@@ -23,8 +33,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
+import shutil
 import tempfile
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..util.faultinject import fault_site
 
@@ -36,8 +48,26 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 #: Bump when the pickled payload layout changes; mismatched entries miss.
 STORE_FORMAT = 1
 
+#: Bump when the analysis *semantics* change — anything that would make a
+#: cached ``FunctionArtifacts`` for an unchanged function body wrong (new
+#: diagnostics, changed word algebra, different instrumentation rules).
+#: Stale-version entries are never read; ``gc()`` reclaims their space.
+ANALYSIS_VERSION = 1
+
 #: Characters of the fingerprint used as the shard directory name.
 SHARD_PREFIX_LEN = 2
+
+#: Generation directory names: ``g<format>-<analysis>``.
+_GENERATION_RE = re.compile(r"^g(\d+)-(\d+)$")
+
+#: Legacy pre-generation shard dirs sat directly under the root.
+_LEGACY_SHARD_RE = re.compile(r"^[0-9a-f]{%d}$" % SHARD_PREFIX_LEN)
+
+
+def store_generation(store_format: int = STORE_FORMAT,
+                     analysis_version: int = ANALYSIS_VERSION) -> str:
+    """The generation directory name for a (format, analysis) pair."""
+    return f"g{store_format}-{analysis_version}"
 
 
 def _key_digest(key: tuple) -> str:
@@ -53,7 +83,7 @@ def _key_digest(key: tuple) -> str:
 
 
 class ShardedStore:
-    """Directory-per-prefix pickle store with atomic, shard-locked writes.
+    """Generation/prefix pickle store with atomic, shard-locked writes.
 
     Duck-typed to what :class:`~repro.core.engine.AnalysisEngine` expects
     from its ``store`` parameter: ``load(key)`` returning
@@ -63,11 +93,13 @@ class ShardedStore:
 
     def __init__(self, root: str) -> None:
         self.root = str(root)
+        self.generation = store_generation()
 
     # -- paths ---------------------------------------------------------------
 
     def _shard(self, key: tuple) -> str:
-        return os.path.join(self.root, key[0][:SHARD_PREFIX_LEN])
+        return os.path.join(self.root, self.generation,
+                            key[0][:SHARD_PREFIX_LEN])
 
     def _path(self, key: tuple) -> str:
         return os.path.join(self._shard(key), _key_digest(key) + ".pkl")
@@ -76,19 +108,28 @@ class ShardedStore:
 
     def load(self, key: tuple) -> Optional[Tuple[object, tuple]]:
         """The stored ``(artifacts, uid_at_pos)`` for ``key`` — ``None`` on
-        any miss, including a torn/corrupt/old-format entry."""
+        any miss, including a torn/corrupt/wrong-version entry."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except Exception:
             # Missing file, torn write, corrupt bytes (UnpicklingError,
             # ValueError, EOFError…), or a payload class that no longer
             # imports — all of them are misses, never errors.
             return None
-        if (not isinstance(payload, tuple) or len(payload) != 3
-                or payload[0] != STORE_FORMAT):
+        if (not isinstance(payload, tuple) or len(payload) != 4
+                or payload[0] != STORE_FORMAT
+                or payload[1] != ANALYSIS_VERSION):
+            # A stale-version entry inside the current generation can only
+            # mean manual copying or an old writer: reclaim it now so it
+            # is not probed again.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
-        return payload[1], tuple(payload[2])
+        return payload[2], tuple(payload[3])
 
     def save(self, key: tuple, artifacts: object, uid_at_pos: tuple) -> None:
         """Write one entry atomically under the shard lock."""
@@ -106,7 +147,8 @@ class ShardedStore:
                 lock = open(lock_path, "a+b")
                 fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump((STORE_FORMAT, artifacts, tuple(uid_at_pos)),
+                pickle.dump((STORE_FORMAT, ANALYSIS_VERSION, artifacts,
+                             tuple(uid_at_pos)),
                             handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._path(key))
         except BaseException:
@@ -122,20 +164,101 @@ class ShardedStore:
 
     # -- maintenance ---------------------------------------------------------
 
-    def entries(self) -> int:
-        """Number of stored artifacts (walks the shard directories)."""
+    def _count_entries(self, gen_dir: str) -> int:
         count = 0
         try:
-            shards = os.listdir(self.root)
+            shards = os.listdir(gen_dir)
         except OSError:
             return 0
         for shard in shards:
             try:
-                names = os.listdir(os.path.join(self.root, shard))
+                names = os.listdir(os.path.join(gen_dir, shard))
             except OSError:
                 continue
             count += sum(1 for n in names if n.endswith(".pkl"))
         return count
 
+    def entries(self) -> int:
+        """Number of stored artifacts in the *current* generation."""
+        return self._count_entries(os.path.join(self.root, self.generation))
 
-__all__ = ["STORE_FORMAT", "SHARD_PREFIX_LEN", "ShardedStore"]
+    def generations(self) -> List[str]:
+        """Generation directory names present under the root (the current
+        one included if it exists), oldest modification first.  Legacy
+        pre-generation shard dirs are reported as the pseudo-generation
+        ``"legacy"``."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        gens = []
+        legacy = False
+        for name in sorted(names):
+            if _GENERATION_RE.match(name):
+                gens.append(name)
+            elif _LEGACY_SHARD_RE.match(name):
+                legacy = True
+
+        def mtime(gen: str) -> float:
+            try:
+                return os.path.getmtime(os.path.join(self.root, gen))
+            except OSError:
+                return 0.0
+
+        gens.sort(key=lambda g: (mtime(g), g))
+        if legacy:
+            gens.insert(0, "legacy")
+        return gens
+
+    def gc(self, keep: int = 0) -> Tuple[int, int]:
+        """Prune stale generations; returns ``(generations_removed,
+        entries_removed)``.
+
+        The current generation is always kept.  ``keep`` additionally
+        retains that many of the most recently modified stale generations
+        (useful while rolling back and forth between two builds).  Legacy
+        pre-generation shard dirs at the root count as one stale
+        generation — the oldest — and are pruned with it."""
+        stale = [g for g in self.generations() if g != self.generation]
+        if keep > 0:
+            stale = stale[:-keep] if keep < len(stale) else []
+        gens_removed = 0
+        entries_removed = 0
+        for gen in stale:
+            if gen == "legacy":
+                entries_removed += self._prune_legacy()
+                gens_removed += 1
+                continue
+            gen_dir = os.path.join(self.root, gen)
+            entries_removed += self._count_entries(gen_dir)
+            try:
+                shutil.rmtree(gen_dir)
+            except OSError:
+                continue
+            gens_removed += 1
+        return gens_removed, entries_removed
+
+    def _prune_legacy(self) -> int:
+        """Remove pre-generation shard dirs sitting directly at the root."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if not _LEGACY_SHARD_RE.match(name):
+                continue
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                continue
+            try:
+                removed += sum(1 for n in os.listdir(path)
+                               if n.endswith(".pkl"))
+                shutil.rmtree(path)
+            except OSError:
+                continue
+        return removed
+
+
+__all__ = ["STORE_FORMAT", "ANALYSIS_VERSION", "SHARD_PREFIX_LEN",
+           "ShardedStore", "store_generation"]

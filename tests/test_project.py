@@ -310,13 +310,82 @@ def test_store_roundtrip_and_corruption_is_a_miss(tmp_path):
     store.save(key, {"fake": "artifacts"}, (1, 2, 3))
     assert store.load(key) == ({"fake": "artifacts"}, (1, 2, 3))
     assert store.entries() == 1
+    # Entries live inside the current generation directory.
+    shard = os.path.join(store.root, store.generation, key[0][:2])
+    assert os.path.isdir(shard)
     # Torn/corrupt entries read as misses, never raise.
-    shard = os.path.join(store.root, key[0][:2])
     for name in os.listdir(shard):
         if name.endswith(".pkl"):
             with open(os.path.join(shard, name), "wb") as handle:
                 handle.write(b"\x80garbage")
     assert store.load(key) is None
+
+
+def test_store_stale_version_entry_is_a_miss_and_reclaimed(tmp_path):
+    import pickle
+
+    from repro.project import ANALYSIS_VERSION, STORE_FORMAT
+
+    store = ShardedStore(str(tmp_path / "store"))
+    key = ("cd" * 32, (), "paper", (), (), ())
+    store.save(key, {"v": 1}, (7,))
+    path = store._path(key)
+    # Rewrite the entry as if an *older* analyzer had produced it: same
+    # location, stale ANALYSIS_VERSION stamp.
+    with open(path, "wb") as handle:
+        pickle.dump((STORE_FORMAT, ANALYSIS_VERSION - 1, {"v": 0}, (7,)),
+                    handle)
+    assert store.load(key) is None          # never served
+    assert not os.path.exists(path)         # reclaimed on sight
+    # A pre-generation 3-tuple payload is equally a miss.
+    store.save(key, {"v": 2}, (7,))
+    with open(path, "wb") as handle:
+        pickle.dump((STORE_FORMAT, {"v": 0}, (7,)), handle)
+    assert store.load(key) is None
+
+
+def test_store_gc_prunes_stale_generations(tmp_path):
+    store = ShardedStore(str(tmp_path / "store"))
+    key = ("ef" * 32, (), "paper", (), (), ())
+    store.save(key, {"keep": True}, ())
+    # A stale generation and a legacy pre-generation shard dir, each with
+    # one entry.
+    for stale_dir in ("g0-9", "ab"):
+        shard = os.path.join(store.root, stale_dir)
+        if stale_dir != "ab":
+            shard = os.path.join(shard, "ab")
+        os.makedirs(shard)
+        with open(os.path.join(shard, "x.pkl"), "wb") as handle:
+            handle.write(b"old")
+    assert set(store.generations()) == {"legacy", "g0-9", store.generation}
+    gens, entries = store.gc()
+    assert (gens, entries) == (2, 2)
+    assert os.listdir(store.root) == [store.generation]
+    assert store.load(key) == ({"keep": True}, ())
+    # keep=N retains the most recent stale generations.
+    os.makedirs(os.path.join(store.root, "g0-8"))
+    os.makedirs(os.path.join(store.root, "g0-9"))
+    gens, _entries = store.gc(keep=1)
+    assert gens == 1
+    assert sorted(os.listdir(store.root)) == sorted(
+        ["g0-9", store.generation])
+
+
+def test_cli_project_gc(tmp_path, capsys):
+    _write(tmp_path, "clean.mc", "void main() { MPI_Barrier(); }\n")
+    root = str(tmp_path)
+    assert main(["project", "analyze", root]) == 0
+    capsys.readouterr()
+    store_root = os.path.join(root, ".parcoach", "store")
+    os.makedirs(os.path.join(store_root, "g0-9", "ab"))
+    with open(os.path.join(store_root, "g0-9", "ab", "x.pkl"), "wb") as h:
+        h.write(b"old")
+    assert main(["project", "gc", root]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 stale generation(s)" in out
+    assert not os.path.exists(os.path.join(store_root, "g0-9"))
+    from repro.project import store_generation
+    assert os.path.isdir(os.path.join(store_root, store_generation()))
 
 
 def test_parallel_sessions_share_warm_artifacts(project):
@@ -388,6 +457,127 @@ def test_generated_project_acceptance(tmp_path):
     with pytest.raises(SemanticError, match="UNKNOWN_FUNC"):
         check_program(parse_program(files["main.mc"], "main.mc"),
                       strict=True)
+
+
+# -- O(edit) assembly: identity, equivalence, bounded caches ------------------------
+
+
+def test_fast_update_report_byte_identical_to_cold(tmp_path):
+    """A chain of warm one-function edits must render the exact Report IR
+    bytes a cold session produces on the final tree — the delta-maintained
+    report cache is an optimization, never a semantic fork."""
+    from repro.core.report import render_json
+
+    files = make_project(n_files=100)
+    root = str(tmp_path / "proj")
+    write_project(files, root)
+    with ProjectSession(root, store=False) as session:
+        session.update_all()
+        for i in (1, 2, 3):
+            edited = files["m050.mc"].replace(
+                "v += 50;", f"v += 50;\n    v += {i};", 1)
+            _write(root, "m050.mc", edited)
+            delta = session.update_file("m050.mc")
+            assert delta.changed == ("m50_f0",)
+        assert session.fast_updates >= 1
+        warm_bytes = render_json(session.report)
+    with ProjectSession(root, store=False) as cold:
+        cold.update_all()
+        cold_bytes = render_json(cold.report)
+    assert warm_bytes == cold_bytes
+
+
+def test_checked_memo_is_lru_not_fifo(project):
+    """The semantic-check memo must evict by recency: a function object
+    probed on every update stays resident however many new objects pass
+    through."""
+    with ProjectSession(project, store=False) as session:
+        session._CHECKED_LIMIT = 4
+        hot, *rest = [object() for _ in range(8)]
+        session._note_checked([hot])
+        for cold_obj in rest:
+            assert session._checked_probe(hot)      # keeps `hot` recent
+            session._note_checked([cold_obj])
+        assert len(session._checked) == 4
+        assert session._checked_probe(hot)          # survived 7 insertions
+        assert not session._checked_probe(rest[0])  # FIFO victim was oldest
+
+
+def test_collective_funcs_tracks_callgraph_fixpoint(tmp_path):
+    """The session's incrementally maintained collective-function set (fed
+    by summary emptiness flips on the fast path) must equal the from-scratch
+    reachability fixpoint after edits that flip it both ways."""
+    from repro.core.sites import collective_call_graph
+
+    files = make_project(n_files=100)
+    root = str(tmp_path / "proj")
+    write_project(files, root)
+    with ProjectSession(root, store=False) as session:
+        session.update_all()
+        assert session._collective_funcs == collective_call_graph(
+            session._program)
+        # Cut the f0 chain at m50: m0_f0 … m50_f0 all lose collective
+        # reachability (the Allreduce sits in the last file's leaves).
+        cut = files["m050.mc"].replace("v = m51_f0(v);", "v += 1;", 1)
+        _write(root, "m050.mc", cut)
+        delta = session.update_file("m050.mc")
+        assert delta.changed == ("m50_f0",)
+        expected = collective_call_graph(session._program)
+        assert session._collective_funcs == expected
+        assert "m50_f0" not in session._collective_funcs
+        assert "m49_f0" not in session._collective_funcs
+        # Restore the call: everything flips back.
+        _write(root, "m050.mc", files["m050.mc"])
+        session.update_file("m050.mc")
+        assert session._collective_funcs == collective_call_graph(
+            session._program)
+        assert "m49_f0" in session._collective_funcs
+
+
+def test_recursive_and_expression_collectives_fixpoint(tmp_path):
+    """Emptiness-flip maintenance must agree with the fixpoint on the
+    shapes that stress it: recursion cycles and expression-embedded calls."""
+    from repro.core.sites import collective_call_graph
+
+    _write(tmp_path, "rec.mc",
+           "int spin(int v) {\n"
+           "    if (v > 0) { v = spin(v - 1); }\n"
+           "    MPI_Barrier();\n"
+           "    return v;\n"
+           "}\n")
+    _write(tmp_path, "expr.mc",
+           "int wrap(int v) {\n"
+           "    int x = spin(v);\n"
+           "    return x;\n"
+           "}\n\n"
+           "int dead(int v) {\n"
+           "    return v;\n"
+           "}\n")
+    _write(tmp_path, "main.mc",
+           "void main() {\n"
+           "    MPI_Init();\n"
+           "    int x = wrap(1);\n"
+           "    x = dead(x);\n"
+           "    MPI_Finalize();\n"
+           "}\n")
+    root = str(tmp_path)
+    with ProjectSession(root, store=False) as session:
+        session.update_all()
+        expected = collective_call_graph(session._program)
+        assert session._collective_funcs == expected
+        assert {"spin", "wrap", "main"} <= expected
+        assert "dead" not in expected
+        # Drop the barrier out of the recursive cycle: the whole chain
+        # (cycle included) must flip off.
+        _write(tmp_path, "rec.mc",
+               "int spin(int v) {\n"
+               "    if (v > 0) { v = spin(v - 1); }\n"
+               "    return v;\n"
+               "}\n")
+        session.update_file("rec.mc")
+        expected = collective_call_graph(session._program)
+        assert session._collective_funcs == expected
+        assert "spin" not in expected and "wrap" not in expected
 
 
 # -- serve front end ----------------------------------------------------------------
@@ -511,6 +701,70 @@ def test_serve_deadline_ladder(project):
     assert docs[0]["verdict"] == "error"
     # The degraded answer still arrives after the timeout report.
     assert docs[-1]["summary"]["incremental"]["findings_total"] >= 0
+
+
+def test_serve_xxl_edit_rename_close_sublinear(tmp_path):
+    """Live ``project serve`` on the 1000-file (XXL) project: a comment
+    insertion answers with zero engine misses, a real one-function edit
+    re-analyzes a sub-linear slice (asserted through the served counters),
+    and rename/close keep working at that scale."""
+    files = make_project(n_files=1000)
+    root = str(tmp_path / "xxl")
+    write_project(files, root)
+    _write(root, "solo.mc", "int solo(int v) { return v; }\n")
+    out = io.StringIO()
+    with ProjectSession(root, store=False) as session:
+        run_project_serve(session, stdin=io.StringIO("@1 analyze\nquit\n"),
+                          stdout=out)
+        total_funcs = len(session._fingerprints)
+        assert total_funcs > 2000
+        misses = session.engine.stats.misses
+
+        # Whole-chunk line shift: the answer comes from patched artifacts.
+        _write(root, "m500.mc", "// pad line\n" + files["m500.mc"])
+        run_project_serve(session,
+                          stdin=io.StringIO("@2 edit m500.mc\nquit\n"),
+                          stdout=out)
+        assert session.engine.stats.misses == misses
+
+        # One-function edit: sub-linear re-analysis, O(project) reuse.
+        reuses = session.engine.stats.assembly_reuses
+        edited = files["m500.mc"].replace(
+            "v += 500;", "v += 500;\n    v += 9;", 1)
+        _write(root, "m500.mc", edited)
+        run_project_serve(
+            session, stdin=io.StringIO("@3 edit m500.mc\n@4 stats\nquit\n"),
+            stdout=out)
+        assert session.engine.stats.misses - misses < total_funcs // 10
+        assert (session.engine.stats.assembly_reuses - reuses
+                >= total_funcs - 100)
+
+        os.rename(os.path.join(root, "m500.mc"),
+                  os.path.join(root, "m500x.mc"))
+        run_project_serve(
+            session, stdin=io.StringIO("@5 rename m500.mc m500x.mc\nquit\n"),
+            stdout=out)
+        run_project_serve(session,
+                          stdin=io.StringIO("@6 close solo.mc\nquit\n"),
+                          stdout=out)
+        assert "m500x.mc" in session._files and "m500.mc" not in session._files
+    docs = {d["request_id"]: d
+            for d in (json.loads(line)
+                      for line in out.getvalue().splitlines())}
+    assert docs["1"]["summary"]["incremental"]["findings_total"] == 1
+    inc2 = docs["2"]["summary"]["incremental"]
+    assert inc2["patched"] and inc2["reanalyzed"] == []
+    inc3 = docs["3"]["summary"]["incremental"]
+    assert inc3["changed"] == ["m500_f0"]
+    assert 0 < len(inc3["reanalyzed"]) < total_funcs // 4
+    served = docs["4"]["summary"]["stats"]
+    assert served["engine"]["assembly_reuses"] > 0
+    assert served["engine"]["graph_rebuilds"] >= 0
+    assert served["engine"]["edges_recomputed"] > 0
+    assert served["session"]["fast_updates"] >= 2
+    assert docs["5"]["verdict"] != "error"
+    assert docs["5"]["summary"]["incremental"]["findings_total"] == 1
+    assert "solo" in docs["6"]["summary"]["incremental"]["removed"]
 
 
 # -- CLI ----------------------------------------------------------------------------
